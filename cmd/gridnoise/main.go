@@ -1,0 +1,92 @@
+// Command gridnoise runs the supply-noise analyzer: a localized
+// switching burst on a PEEC-modeled power grid, reporting the worst
+// droop, its static-IR/dynamic decomposition, the droop map, and the
+// effect of the two design levers (decap budget, package choice).
+//
+// Usage:
+//
+//	gridnoise [-nx 4] [-ny 4] [-pitch 150e-6] [-burst 25e-3]
+//	          [-decap 2e4] [-sweep] [-packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"inductance101/internal/grid"
+	"inductance101/internal/pkgmodel"
+	"inductance101/internal/supply"
+	"inductance101/internal/units"
+)
+
+func main() {
+	var (
+		nx    = flag.Int("nx", 4, "grid lines per direction (X)")
+		ny    = flag.Int("ny", 4, "grid lines per direction (Y)")
+		pitch = flag.Float64("pitch", 150e-6, "grid pitch (m)")
+		burst = flag.Float64("burst", 25e-3, "burst peak current (A)")
+		dcap  = flag.Float64("decap", 2e4, "decap budget, total transistor width (um)")
+		sweep = flag.Bool("sweep", false, "sweep the decap budget")
+		pkgs  = flag.Bool("packages", false, "compare package models")
+	)
+	flag.Parse()
+
+	spec := supply.DefaultSpec()
+	spec.Grid = grid.Spec{NX: *nx, NY: *ny, Pitch: *pitch, Width: 4e-6, LayerX: 0, LayerY: 1, ViaR: 0.4}
+	spec.Bursts[0].Peak = *burst
+	spec.Bursts[0].X = float64(*nx-1) / 2 * *pitch
+	spec.Bursts[0].Y = float64(*ny-1) / 2 * *pitch
+	spec.DecapWidth = *dcap
+
+	rep, err := supply.Analyze(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("worst droop: %s at %s  (static IR %s + dynamic %s)\n",
+		units.FormatSI(rep.WorstDroop, "V"), rep.WorstNode,
+		units.FormatSI(rep.StaticIR, "V"), units.FormatSI(rep.Dynamic, "V"))
+	fmt.Printf("worst ground bounce: %s\n\n", units.FormatSI(rep.WorstBounce, "V"))
+
+	fmt.Println("droop map (VDD crossings):")
+	names := make([]string, 0, len(rep.NodeDroop))
+	for n := range rep.NodeDroop {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-12s %s\n", n, units.FormatSI(rep.NodeDroop[n], "V"))
+	}
+
+	if *sweep {
+		widths := []float64{0, *dcap / 2, *dcap, *dcap * 2, *dcap * 4}
+		droops, err := supply.DecapSweep(spec, widths)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\ndecap sweep:")
+		for i, w := range widths {
+			fmt.Printf("  width %-10s droop %s\n",
+				units.FormatSI(w*1e-6, "m"), units.FormatSI(droops[i], "V"))
+		}
+	}
+	if *pkgs {
+		out, err := supply.PackageComparison(spec, map[string]pkgmodel.Connection{
+			"flip-chip": pkgmodel.FlipChip(),
+			"wire-bond": pkgmodel.WireBond(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\npackage comparison:")
+		for _, name := range []string{"flip-chip", "wire-bond"} {
+			fmt.Printf("  %-10s droop %s\n", name, units.FormatSI(out[name], "V"))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gridnoise:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+// Command inductx extracts PEEC parasitics from a layout JSON document
+// (see internal/layoutio for the schema): per-segment resistance, the
+// partial self/mutual inductance matrix, and ground/coupling
+// capacitances.
+//
+// Usage:
+//
+//	inductx [-l matrix|summary] [-c] [-window 0] layout.json
+//	inductx -sample          # print a sample layout document
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/extract"
+	"inductance101/internal/geom"
+	"inductance101/internal/grid"
+	"inductance101/internal/layoutio"
+	"inductance101/internal/units"
+)
+
+func main() {
+	var (
+		lMode  = flag.String("l", "summary", "inductance output: matrix | summary | none")
+		caps   = flag.Bool("c", true, "extract capacitances")
+		window = flag.Float64("window", 0, "mutual inductance window in metres (0 = unlimited)")
+		sample = flag.Bool("sample", false, "print a sample layout JSON and exit")
+		spice  = flag.String("spice", "", "also write the stamped PEEC netlist as a SPICE deck to this file")
+	)
+	flag.Parse()
+
+	if *sample {
+		printSample()
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: inductx [flags] layout.json   (see -h)")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	lay, err := layoutio.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := extract.DefaultOptions()
+	if *window > 0 {
+		opt.MutualWindow = *window
+	}
+	par := extract.Extract(lay, opt)
+	st := par.Stats()
+	fmt.Printf("extracted %d segments: %d R, %d self L, %d mutuals, %d ground caps, %d coupling caps\n",
+		len(par.Segs), st.NumR, st.NumL, st.NumMutual, st.NumCGround, st.NumCCouple)
+
+	fmt.Println("\nper-segment R and self L:")
+	for i, si := range par.Segs {
+		s := &lay.Segments[si]
+		fmt.Printf("  seg%-3d %-8s %s->%s  R=%-10s Lself=%s\n",
+			si, s.Net, s.NodeA, s.NodeB,
+			units.FormatSI(par.R[i], "ohm"),
+			units.FormatSI(par.L.At(i, i), "H"))
+	}
+
+	switch *lMode {
+	case "matrix":
+		fmt.Println("\npartial inductance matrix (H):")
+		fmt.Print(par.L.String())
+	case "summary":
+		n := par.L.Rows()
+		worst, wi, wj := 0.0, 0, 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				k := math.Abs(par.L.At(i, j)) / math.Sqrt(par.L.At(i, i)*par.L.At(j, j))
+				if k > worst {
+					worst, wi, wj = k, i, j
+				}
+			}
+		}
+		if n > 1 {
+			fmt.Printf("\nstrongest coupling: seg%d <-> seg%d, k = %.4f (M = %s)\n",
+				par.Segs[wi], par.Segs[wj], worst,
+				units.FormatSI(par.L.At(wi, wj), "H"))
+		}
+	case "none":
+	default:
+		fatal(fmt.Errorf("unknown -l mode %q", *lMode))
+	}
+
+	if *spice != "" {
+		p2, err := grid.BuildPEECNetlist(lay, par, grid.PEECOptions{Mode: grid.ModeRLC})
+		if err != nil {
+			fatal(err)
+		}
+		sf, err := os.Create(*spice)
+		if err != nil {
+			fatal(err)
+		}
+		if err := circuit.WriteSpice(sf, p2.Netlist, "inductx PEEC export of "+flag.Arg(0)); err != nil {
+			sf.Close()
+			fatal(err)
+		}
+		if err := sf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nSPICE deck written to %s\n", *spice)
+	}
+
+	if *caps {
+		fmt.Println("\nground capacitance per node:")
+		for _, node := range sortedKeys(par.CGround) {
+			fmt.Printf("  %-12s %s\n", node, units.FormatSI(par.CGround[node], "F"))
+		}
+		if len(par.CCoupling) > 0 {
+			fmt.Println("coupling capacitors:")
+			for _, cc := range par.CCoupling {
+				fmt.Printf("  %-12s %-12s %s\n", cc.NodeA, cc.NodeB, units.FormatSI(cc.C, "F"))
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func printSample() {
+	lay := geom.NewLayout([]geom.Layer{
+		{Name: "M6", Z: 6e-6, Thickness: 1.2e-6, SheetRho: 0.018, HBelow: 1.1e-6},
+	})
+	lay.AddSegment(geom.Segment{Layer: 0, Dir: geom.DirX, X0: 0, Y0: 0,
+		Length: 1e-3, Width: 2e-6, Net: "sig", NodeA: "s0", NodeB: "s1"})
+	lay.AddSegment(geom.Segment{Layer: 0, Dir: geom.DirX, X0: 0, Y0: 4e-6,
+		Length: 1e-3, Width: 2e-6, Net: "GND", NodeA: "g0", NodeB: "g1"})
+	if err := layoutio.Write(os.Stdout, lay); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "inductx:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+// Command rlsweep extracts loop R(f) and L(f) — the paper's Fig. 3(b)
+// curves — either for a built-in signal-over-returns structure or for a
+// layout JSON with a named port, and optionally fits the Krauter ladder
+// model (Fig. 3(d)).
+//
+// Usage:
+//
+//	rlsweep [-length 2e-3] [-width 8e-6] [-pitch 20e-6]
+//	        [-fstart 1e8] [-fstop 2e10] [-points 13] [-fit]
+//	rlsweep -layout l.json -plus s0 -minus g0 -short s1=g1 [-short a=b ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"inductance101/internal/fasthenry"
+	"inductance101/internal/geom"
+	"inductance101/internal/layoutio"
+	"inductance101/internal/loopmodel"
+	"inductance101/internal/units"
+)
+
+type shortList [][2]string
+
+func (s *shortList) String() string { return fmt.Sprint([][2]string(*s)) }
+
+func (s *shortList) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("want nodeA=nodeB, got %q", v)
+	}
+	*s = append(*s, [2]string{parts[0], parts[1]})
+	return nil
+}
+
+func main() {
+	var (
+		length = flag.Float64("length", 2e-3, "builtin structure: wire length (m)")
+		width  = flag.Float64("width", 8e-6, "builtin structure: wire width (m)")
+		pitch  = flag.Float64("pitch", 20e-6, "builtin structure: signal-return pitch (m)")
+		fstart = flag.Float64("fstart", 1e8, "sweep start frequency (Hz)")
+		fstop  = flag.Float64("fstop", 2e10, "sweep stop frequency (Hz)")
+		points = flag.Int("points", 13, "sweep points")
+		fit    = flag.Bool("fit", false, "fit the two-point ladder model and report its error")
+		nsec   = flag.Int("sections", 0, "with -fit: also least-squares fit an n-section ladder")
+		layout = flag.String("layout", "", "layout JSON file (instead of builtin structure)")
+		plus   = flag.String("plus", "", "port plus node (with -layout)")
+		minus  = flag.String("minus", "", "port minus node (with -layout)")
+		shorts shortList
+	)
+	flag.Var(&shorts, "short", "short two nodes, nodeA=nodeB (repeatable; with -layout)")
+	flag.Parse()
+
+	var (
+		lay  *geom.Layout
+		segs []int
+		port fasthenry.Port
+		sh   [][2]string
+	)
+	if *layout != "" {
+		f, err := os.Open(*layout)
+		if err != nil {
+			fatal(err)
+		}
+		lay2, err := layoutio.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		lay = lay2
+		for i := range lay.Segments {
+			segs = append(segs, i)
+		}
+		if *plus == "" || *minus == "" {
+			fatal(fmt.Errorf("-layout requires -plus and -minus"))
+		}
+		port = fasthenry.Port{Plus: *plus, Minus: *minus}
+		sh = shorts
+	} else {
+		lay, segs, port, sh = builtin(*length, *width, *pitch)
+	}
+
+	solver, err := fasthenry.NewSolver(lay, segs, port, sh, *fstop, fasthenry.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rlsweep: %d filaments\n", solver.NumFilaments())
+	pts, err := solver.Sweep(fasthenry.LogSpace(*fstart, *fstop, *points))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("freq_hz,r_ohm,l_h")
+	for _, p := range pts {
+		fmt.Printf("%g,%g,%g\n", p.Freq, p.R, p.L)
+	}
+
+	if *fit {
+		first, last := pts[0], pts[len(pts)-1]
+		ld, err := loopmodel.FitTwoPoint(first.Z, first.Freq, last.Z, last.Freq)
+		if err != nil {
+			fatal(err)
+		}
+		errR, errL := ld.MaxRelErr(pts)
+		fmt.Fprintf(os.Stderr, "ladder fit: R0=%s L0=%s", units.FormatSI(ld.R0, "ohm"), units.FormatSI(ld.L0, "H"))
+		for _, s := range ld.Sections {
+			fmt.Fprintf(os.Stderr, " | R1=%s L1=%s", units.FormatSI(s.R, "ohm"), units.FormatSI(s.L, "H"))
+		}
+		fmt.Fprintf(os.Stderr, "\nmax band error: R %.1f%%, L %.1f%%\n", errR*100, errL*100)
+		if *nsec > 0 {
+			ldN, err := loopmodel.FitSections(pts, *nsec)
+			if err != nil {
+				fatal(err)
+			}
+			eR, eL := ldN.MaxRelErr(pts)
+			fmt.Fprintf(os.Stderr, "%d-section LS fit: %d sections kept, max band error R %.1f%%, L %.1f%%\n",
+				*nsec, len(ldN.Sections), eR*100, eL*100)
+		}
+	}
+}
+
+// builtin makes the Fig. 3(a) structure: signal with two same-layer
+// ground returns tied at both ends.
+func builtin(length, width, pitch float64) (*geom.Layout, []int, fasthenry.Port, [][2]string) {
+	lay := geom.NewLayout([]geom.Layer{
+		{Name: "M6", Z: 6e-6, Thickness: 1.2e-6, SheetRho: 0.018, HBelow: 1.1e-6},
+	})
+	s := lay.AddSegment(geom.Segment{Layer: 0, Dir: geom.DirX, X0: 0, Y0: 0,
+		Length: length, Width: width, Net: "sig", NodeA: "s0", NodeB: "s1"})
+	g1 := lay.AddSegment(geom.Segment{Layer: 0, Dir: geom.DirX, X0: 0, Y0: -pitch,
+		Length: length, Width: width, Net: "GND", NodeA: "g0", NodeB: "g1"})
+	g2 := lay.AddSegment(geom.Segment{Layer: 0, Dir: geom.DirX, X0: 0, Y0: pitch,
+		Length: length, Width: width, Net: "GND", NodeA: "h0", NodeB: "h1"})
+	return lay, []int{s, g1, g2},
+		fasthenry.Port{Plus: "s0", Minus: "g0"},
+		[][2]string{{"s1", "g1"}, {"g1", "h1"}, {"g0", "h0"}}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Clocknet reproduces the paper's §6 experiment end to end: a global
+// clock H-tree over an interleaved VDD/GND grid with package, decap and
+// background switching, analyzed with the PEEC (RC), PEEC (RLC) and
+// loop-inductance models, plus the §4 acceleration strategies — the
+// code behind Table 1 and Fig. 4.
+package main
+
+import (
+	"fmt"
+
+	"inductance101/internal/core"
+	"inductance101/internal/units"
+)
+
+func main() {
+	opt := core.DefaultCaseOptions()
+	c, err := core.NewClockCase(opt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("workload: %d-sink clock tree over a %dx%d P/G grid (%d segments, %s of wire)\n\n",
+		len(c.Clock.Sinks), opt.Grid.NX, opt.Grid.NY,
+		len(c.Grid.Layout.Segments),
+		units.FormatSI(c.Grid.Layout.TotalWireLength(), "m"))
+
+	// Table 1.
+	rows, err := core.Table1(c, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("== Table 1: model comparison ==")
+	fmt.Print(core.FormatTable1(rows))
+
+	// Fig. 4: the waveform at the slowest sink under each model.
+	fmt.Println("\n== Fig. 4: worst-sink waveforms (sampled) ==")
+	fmt.Printf("%-10s", "time")
+	for _, r := range rows {
+		fmt.Printf("%12s", r.Model)
+	}
+	fmt.Println()
+	ref := rows[0].Result
+	for i := 0; i < len(ref.Times); i += len(ref.Times) / 16 {
+		fmt.Printf("%-10s", units.FormatSI(ref.Times[i], "s"))
+		for _, r := range rows {
+			worst := worstSink(r.Result)
+			fmt.Printf("%11.3fV", r.Result.SinkV[worst][i])
+		}
+		fmt.Println()
+	}
+
+	// §4 strategies against the full model.
+	fmt.Println("\n== acceleration strategies vs PEEC(RLC) ==")
+	full := rows[1].Result
+	for _, s := range []core.Strategy{
+		core.StrategyBlockDiag, core.StrategyShell, core.StrategyHalo,
+	} {
+		r, err := c.RunPEEC(core.DefaultFlowOptions(s))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-18s kept %5.1f%% of mutuals, passive=%v, delay %s (full %s), %v\n",
+			r.Name, r.KeptFraction*100, r.PositiveDefinite,
+			units.FormatSI(r.WorstDelay, "s"), units.FormatSI(full.WorstDelay, "s"),
+			r.Runtime.Round(1e6))
+	}
+	po := core.DefaultFlowOptions(core.StrategyFull)
+	po.UsePRIMA = true
+	r, err := c.RunPEEC(po)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-18s reduced order %d (from %d unknowns), delay %s, %v\n",
+		r.Name, r.ReducedOrder, len(c.Grid.Layout.Segments)*2,
+		units.FormatSI(r.WorstDelay, "s"), r.Runtime.Round(1e6))
+}
+
+func worstSink(r *core.FlowResult) int {
+	w, wi := 0.0, 0
+	for i, d := range r.Delays {
+		if d > w {
+			w, wi = d, i
+		}
+	}
+	return wi
+}

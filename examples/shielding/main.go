@@ -1,0 +1,119 @@
+// Shielding walks through the paper's §7 design techniques and
+// quantifies each: shield insertion (Fig. 5), dedicated ground planes
+// vs frequency (Fig. 6), inter-digitated wires (Fig. 7), staggered
+// inverter patterns (Fig. 8) and twisted-bundle routing (Fig. 9).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"inductance101/internal/design"
+	"inductance101/internal/fasthenry"
+	"inductance101/internal/units"
+)
+
+func main() {
+	f := 2e9
+
+	// Fig. 5: shielding.
+	spec := design.DefaultShieldSpec()
+	_, lBare, err := design.ShieldedLoop(spec, false, f)
+	check(err)
+	_, lSh, err := design.ShieldedLoop(spec, true, f)
+	check(err)
+	fmt.Println("== Fig. 5: shielding ==")
+	fmt.Printf("loop L without shields: %s\n", units.FormatSI(lBare, "H"))
+	fmt.Printf("loop L with shields:    %s  (%.1fx lower)\n\n",
+		units.FormatSI(lSh, "H"), lBare/lSh)
+
+	// Fig. 6: ground planes vs frequency.
+	pspec := design.DefaultPlaneSpec()
+	freqs := fasthenry.LogSpace(1e8, 2e10, 7)
+	fmt.Println("== Fig. 6: L vs frequency ==")
+	fmt.Printf("%-12s %14s %14s %14s\n", "freq", "far return", "shields", "ground plane")
+	series := map[design.PlaneVariant][]fasthenry.Point{}
+	for _, v := range []design.PlaneVariant{
+		design.VariantFarReturn, design.VariantShields, design.VariantPlane,
+	} {
+		pts, err := design.LOverFrequency(pspec, v, freqs)
+		check(err)
+		series[v] = pts
+	}
+	for i, fq := range freqs {
+		fmt.Printf("%-12s %14s %14s %14s\n",
+			units.FormatSI(fq, "Hz"),
+			units.FormatSI(series[design.VariantFarReturn][i].L, "H"),
+			units.FormatSI(series[design.VariantShields][i].L, "H"),
+			units.FormatSI(series[design.VariantPlane][i].L, "H"))
+	}
+
+	// Fig. 7: inter-digitated wires.
+	ispec := design.DefaultInterdigitSpec()
+	solid, err := design.Interdigitate(ispec, false, f)
+	check(err)
+	fing, err := design.Interdigitate(ispec, true, f)
+	check(err)
+	fmt.Println("\n== Fig. 7: inter-digitated wires ==")
+	fmt.Printf("%-14s %12s %12s %12s\n", "", "loop L", "loop R", "total C")
+	fmt.Printf("%-14s %12s %12s %12s\n", "solid wire",
+		units.FormatSI(solid.LoopL, "H"), units.FormatSI(solid.LoopR, "ohm"),
+		units.FormatSI(solid.CTotal, "F"))
+	fmt.Printf("%-14s %12s %12s %12s\n",
+		fmt.Sprintf("%d fingers", ispec.NFingers),
+		units.FormatSI(fing.LoopL, "H"), units.FormatSI(fing.LoopR, "ohm"),
+		units.FormatSI(fing.CTotal, "F"))
+	fmt.Println("(L down, R and C up — the paper's stated trade)")
+
+	// Fig. 8: staggered inverters.
+	sspec := design.DefaultStaggerSpec()
+	aligned, err := design.StaggeredNoise(sspec, false)
+	check(err)
+	staggered, err := design.StaggeredNoise(sspec, true)
+	check(err)
+	fmt.Println("\n== Fig. 8: staggered inverter patterns ==")
+	fmt.Printf("peak victim noise, aligned repeaters:   %s\n", units.FormatSI(aligned, "V"))
+	fmt.Printf("peak victim noise, staggered repeaters: %s  (%.1fx lower)\n",
+		units.FormatSI(staggered, "V"), aligned/staggered)
+
+	// Fig. 9: twisted bundles.
+	tspec := design.DefaultTwistSpec()
+	par, err := design.CouplingMatrix(tspec, false)
+	check(err)
+	tw, err := design.CouplingMatrix(tspec, true)
+	check(err)
+	mPar, kPar := design.WorstCoupling(par)
+	mTw, kTw := design.WorstCoupling(tw)
+	fmt.Println("\n== Fig. 9: twisted-bundle routing ==")
+	fmt.Printf("parallel bundle: worst pair-to-pair M = %s (k = %.4f)\n",
+		units.FormatSI(mPar, "H"), kPar)
+	if mTw > 0 {
+		fmt.Printf("twisted bundle:  worst pair-to-pair M = %s (k = %.4f, %.0fx lower)\n",
+			units.FormatSI(mTw, "H"), kTw, mPar/mTw)
+	} else {
+		fmt.Printf("twisted bundle:  complete flux cancellation (M = 0)\n")
+	}
+
+	// §7: shield insertion + net ordering.
+	fmt.Println("\n== shield insertion + net ordering (NP-hard; greedy vs annealing) ==")
+	rng := rand.New(rand.NewSource(3))
+	nets := make([]design.Net, 10)
+	for i := range nets {
+		nets[i] = design.Net{
+			Name:           fmt.Sprintf("n%d", i),
+			Aggressiveness: 0.5 + rng.Float64()*2.5,
+			Sensitivity:    0.5 + rng.Float64()*1.5,
+			CapBound:       3.5, IndBound: 4.5,
+		}
+	}
+	nm := design.NoiseModel{KCap: 1, KInd: 0.8}
+	g := design.Greedy(nets, nm)
+	a := design.Anneal(nets, nm, rng, design.DefaultAnnealOptions())
+	fmt.Printf("greedy needs %d shields; annealing needs %d\n", g.NumShields(), a.NumShields())
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module inductance101
+
+go 1.22

@@ -1,0 +1,163 @@
+package circuit
+
+import (
+	"inductance101/internal/matrix"
+)
+
+// MNA is the assembled modified-nodal-analysis description of the linear
+// part of a netlist:
+//
+//	C dx/dt + G x = b(t) + (nonlinear device currents)
+//
+// with x = [node voltages; branch currents]. Branch currents exist for
+// inductors and voltage sources.
+type MNA struct {
+	N    *Netlist
+	G    *matrix.Dense
+	C    *matrix.Dense
+	size int
+	// kMember[i] is true when inductor i's branch row is governed by a
+	// KGroup instead of its own L.
+	kMember map[int]bool
+}
+
+// Build assembles the dense MNA matrices for the netlist's linear
+// elements. MOSFETs are not stamped here — the simulator linearizes
+// them per Newton iteration.
+func Build(n *Netlist) *MNA {
+	size := n.Size()
+	m := &MNA{
+		N:       n,
+		G:       matrix.NewDense(size, size),
+		C:       matrix.NewDense(size, size),
+		size:    size,
+		kMember: make(map[int]bool),
+	}
+	for _, kg := range n.KGroups {
+		for _, li := range kg.Inductors {
+			m.kMember[li] = true
+		}
+	}
+
+	for i := range n.Resistors {
+		r := &n.Resistors[i]
+		g := 1 / r.R
+		m.addG(r.A, r.A, g)
+		m.addG(r.B, r.B, g)
+		m.addG(r.A, r.B, -g)
+		m.addG(r.B, r.A, -g)
+	}
+	for i := range n.Capacitors {
+		c := &n.Capacitors[i]
+		m.addC(c.A, c.A, c.C)
+		m.addC(c.B, c.B, c.C)
+		m.addC(c.A, c.B, -c.C)
+		m.addC(c.B, c.A, -c.C)
+	}
+	nn := n.NumNodes()
+	for i := range n.Inductors {
+		l := &n.Inductors[i]
+		br := nn + l.Branch
+		// KCL: branch current leaves A, enters B.
+		m.addG(l.A, br, 1)
+		m.addG(l.B, br, -1)
+		if m.kMember[i] {
+			continue // branch row stamped by the KGroup below
+		}
+		// Branch row: v_A - v_B - L di/dt = 0.
+		m.addG(br, l.A, 1)
+		m.addG(br, l.B, -1)
+		m.C.Add(br, br, -l.L)
+	}
+	for i := range n.Mutuals {
+		mu := &n.Mutuals[i]
+		ba := nn + n.Inductors[mu.La].Branch
+		bb := nn + n.Inductors[mu.Lb].Branch
+		m.C.Add(ba, bb, -mu.M)
+		m.C.Add(bb, ba, -mu.M)
+	}
+	for _, kg := range n.KGroups {
+		// Branch rows: sum_j K_ij (v_Aj - v_Bj) - di_i/dt = 0.
+		for gi, liI := range kg.Inductors {
+			br := nn + n.Inductors[liI].Branch
+			m.C.Add(br, br, -1)
+			for gj, liJ := range kg.Inductors {
+				k := kg.K[gi][gj]
+				if k == 0 {
+					continue
+				}
+				lj := &n.Inductors[liJ]
+				m.addG(br, lj.A, k)
+				m.addG(br, lj.B, -k)
+			}
+		}
+	}
+	for i := range n.VSources {
+		v := &n.VSources[i]
+		br := nn + v.Branch
+		m.addG(v.A, br, 1)
+		m.addG(v.B, br, -1)
+		m.addG(br, v.A, 1)
+		m.addG(br, v.B, -1)
+	}
+	return m
+}
+
+func (m *MNA) addG(i, j int, v float64) {
+	if i == groundIndex || j == groundIndex {
+		return
+	}
+	m.G.Add(i, j, v)
+}
+
+func (m *MNA) addC(i, j int, v float64) {
+	if i == groundIndex || j == groundIndex {
+		return
+	}
+	m.C.Add(i, j, v)
+}
+
+// Size returns the MNA system dimension.
+func (m *MNA) Size() int { return m.size }
+
+// RHS fills b with the independent-source vector at time t. b must have
+// length Size().
+func (m *MNA) RHS(t float64, b []float64) {
+	for i := range b {
+		b[i] = 0
+	}
+	m.AddRHS(t, b)
+}
+
+// AddRHS accumulates the independent-source vector at time t into b.
+func (m *MNA) AddRHS(t float64, b []float64) {
+	n := m.N
+	nn := n.NumNodes()
+	for i := range n.ISources {
+		s := &n.ISources[i]
+		v := s.Wave.At(t)
+		if s.A != groundIndex {
+			b[s.A] -= v
+		}
+		if s.B != groundIndex {
+			b[s.B] += v
+		}
+	}
+	for i := range n.VSources {
+		s := &n.VSources[i]
+		b[nn+s.Branch] += s.Wave.At(t)
+	}
+}
+
+// SourceDerivRHS fills db with d/dt of the source vector at time t,
+// computed by central difference with step h. Needed by AC-accurate
+// integration schemes; the trapezoidal integrator does not use it.
+func (m *MNA) SourceDerivRHS(t, h float64, db []float64) {
+	b1 := make([]float64, m.size)
+	b2 := make([]float64, m.size)
+	m.RHS(t-h/2, b1)
+	m.RHS(t+h/2, b2)
+	for i := range db {
+		db[i] = (b2[i] - b1[i]) / h
+	}
+}

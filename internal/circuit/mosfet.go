@@ -1,0 +1,115 @@
+package circuit
+
+// Level-1 (Shichman–Hodges) MOSFET model — the driver/receiver model of
+// the repository's SPICE-lite. The paper's experiments connect "driver
+// and receiver gates" to the extracted interconnect and simulate in
+// SPICE; a level-1 quadratic model reproduces the behaviours that matter
+// here (output resistance, slew, short-circuit current I1 of Fig. 1).
+
+// MOSParams are the level-1 parameters.
+type MOSParams struct {
+	// VT is the threshold voltage (positive for both N and P devices;
+	// the PMOS sign convention is handled internally).
+	VT float64
+	// K is the transconductance factor k' * W / L in A/V^2.
+	K float64
+	// Lambda is the channel-length modulation in 1/V.
+	Lambda float64
+}
+
+// MOSFET is a three-terminal transistor (bulk tied to source).
+type MOSFET struct {
+	Name    string
+	D, G, S int
+	P       MOSParams
+	PMOS    bool
+}
+
+// AddNMOS adds an n-channel device.
+func (n *Netlist) AddNMOS(name, d, g, s string, p MOSParams) int {
+	n.MOSFETs = append(n.MOSFETs, MOSFET{Name: name, D: n.Node(d), G: n.Node(g), S: n.Node(s), P: p})
+	return len(n.MOSFETs) - 1
+}
+
+// AddPMOS adds a p-channel device.
+func (n *Netlist) AddPMOS(name, d, g, s string, p MOSParams) int {
+	n.MOSFETs = append(n.MOSFETs, MOSFET{Name: name, D: n.Node(d), G: n.Node(g), S: n.Node(s), P: p, PMOS: true})
+	return len(n.MOSFETs) - 1
+}
+
+// AddInverter adds a CMOS inverter (PMOS vdd->out, NMOS out->gnd) with
+// the given device strengths, plus lumped input and output capacitance.
+// This is the paper's switching driver. Returns nothing; the devices
+// are retrievable through the MOSFETs slice.
+func (n *Netlist) AddInverter(name, in, out, vdd, vss string, pn, pp MOSParams, cin, cout float64) {
+	n.AddPMOS(name+".mp", out, in, vdd, pp)
+	n.AddNMOS(name+".mn", out, in, vss, pn)
+	if cin > 0 {
+		n.AddC(name+".cin", in, Ground, cin)
+	}
+	if cout > 0 {
+		n.AddC(name+".cout", out, Ground, cout)
+	}
+}
+
+// eval1 computes the level-1 drain current and derivatives for an NMOS
+// with vds >= 0: returns (id, d id/d vgs, d id/d vds).
+func (p MOSParams) eval1(vgs, vds float64) (id, gm, gds float64) {
+	vov := vgs - p.VT
+	if vov <= 0 {
+		return 0, 0, 0
+	}
+	lam := 1 + p.Lambda*vds
+	if vds < vov {
+		// Triode.
+		id = p.K * (vov*vds - vds*vds/2) * lam
+		gm = p.K * vds * lam
+		gds = p.K*(vov-vds)*lam + p.K*(vov*vds-vds*vds/2)*p.Lambda
+	} else {
+		// Saturation.
+		id = p.K / 2 * vov * vov * lam
+		gm = p.K * vov * lam
+		gds = p.K / 2 * vov * vov * p.Lambda
+	}
+	return id, gm, gds
+}
+
+// Eval returns the drain terminal current (positive into the drain) and
+// the small-signal derivatives gm = d id / d vgs and gds = d id / d vds
+// at the given terminal voltages. Drain/source swapping for vds < 0 and
+// the PMOS sign convention are handled here, so the Newton loop in
+// internal/sim can stamp the returned values directly.
+func (m *MOSFET) Eval(vd, vg, vs float64) (id, gm, gds float64) {
+	if m.PMOS {
+		// A PMOS is an NMOS with all terminal voltages negated and the
+		// current sign flipped; derivatives keep their sign.
+		id, gm, gds = evalNMOS(m.P, -vd, -vg, -vs)
+		return -id, gm, gds
+	}
+	return evalNMOS(m.P, vd, vg, vs)
+}
+
+func evalNMOS(p MOSParams, vd, vg, vs float64) (id, gm, gds float64) {
+	vds := vd - vs
+	if vds >= 0 {
+		return p.eval1(vg-vs, vds)
+	}
+	// Swapped operation: the physical source is the drain terminal.
+	// id = -f(vg - vd, -(vds)); chain rule gives the derivatives below.
+	f, f1, f2 := p.eval1(vg-vd, -vds)
+	id = -f
+	gm = -f1
+	gds = f1 + f2
+	return id, gm, gds
+}
+
+// TypicalNMOS returns parameters for a strong 2001-era driver NMOS:
+// strength scales linearly with the drive multiplier x.
+func TypicalNMOS(x float64) MOSParams {
+	return MOSParams{VT: 0.45, K: 2.0e-3 * x, Lambda: 0.05}
+}
+
+// TypicalPMOS returns matched-PMOS parameters (2x width for equal drive).
+func TypicalPMOS(x float64) MOSParams {
+	return MOSParams{VT: 0.45, K: 2.0e-3 * x, Lambda: 0.05}
+}

@@ -1,0 +1,152 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteSpice serializes the netlist as a SPICE deck, so any model this
+// repository builds (PEEC, sparsified, loop) can be cross-checked in an
+// external simulator — the role MCSPICE plays in the paper. Mutual
+// inductances are emitted as K cards with coupling coefficients;
+// K-groups (inverse-inductance elements) have no SPICE equivalent and
+// are rejected. MOSFETs are emitted as level-1 M cards with generated
+// .model lines.
+func WriteSpice(w io.Writer, n *Netlist, title string) error {
+	if len(n.KGroups) > 0 {
+		return fmt.Errorf("circuit: K-groups cannot be exported to SPICE (expand to L/M first)")
+	}
+	if title == "" {
+		title = "inductance101 export"
+	}
+	pw := &printErr{w: w}
+	pw.printf("* %s\n", title)
+
+	nodeName := func(idx int) string {
+		if idx < 0 {
+			return "0"
+		}
+		// SPICE node names: replace characters some dialects reject.
+		r := strings.NewReplacer(".", "_", "!", "_")
+		return r.Replace(n.NodeName(idx))
+	}
+	for i := range n.Resistors {
+		r := &n.Resistors[i]
+		pw.printf("R%d %s %s %.6g\n", i, nodeName(r.A), nodeName(r.B), r.R)
+	}
+	for i := range n.Capacitors {
+		c := &n.Capacitors[i]
+		pw.printf("C%d %s %s %.6g\n", i, nodeName(c.A), nodeName(c.B), c.C)
+	}
+	for i := range n.Inductors {
+		l := &n.Inductors[i]
+		pw.printf("L%d %s %s %.6g\n", i, nodeName(l.A), nodeName(l.B), l.L)
+	}
+	for i := range n.Mutuals {
+		m := &n.Mutuals[i]
+		la, lb := n.Inductors[m.La].L, n.Inductors[m.Lb].L
+		den := math.Sqrt(la * lb)
+		if den <= 0 {
+			return fmt.Errorf("circuit: mutual %d couples a zero inductor", i)
+		}
+		k := m.M / den
+		if k > 1 {
+			k = 1
+		} else if k < -1 {
+			k = -1
+		}
+		pw.printf("K%d L%d L%d %.6g\n", i, m.La, m.Lb, k)
+	}
+	for i := range n.VSources {
+		v := &n.VSources[i]
+		pw.printf("V%d %s %s %s\n", i, nodeName(v.A), nodeName(v.B), spiceWave(v.Wave))
+	}
+	for i := range n.ISources {
+		s := &n.ISources[i]
+		pw.printf("I%d %s %s %s\n", i, nodeName(s.A), nodeName(s.B), spiceWave(s.Wave))
+	}
+	models := map[string]bool{}
+	for i := range n.MOSFETs {
+		m := &n.MOSFETs[i]
+		kind := "NMOS"
+		if m.PMOS {
+			kind = "PMOS"
+		}
+		model := fmt.Sprintf("m%s_vt%.3g_k%.3g_l%.3g", strings.ToLower(kind), m.P.VT, m.P.K, m.P.Lambda)
+		models[fmt.Sprintf(".model %s %s (LEVEL=1 VTO=%.6g KP=%.6g LAMBDA=%.6g)\n",
+			model, kind, vtoSigned(m), m.P.K, m.P.Lambda)] = true
+		pw.printf("M%d %s %s %s %s %s\n", i,
+			nodeName(m.D), nodeName(m.G), nodeName(m.S), nodeName(m.S), model)
+	}
+	var lines []string
+	for mdl := range models {
+		lines = append(lines, mdl)
+	}
+	sort.Strings(lines)
+	for _, mdl := range lines {
+		pw.printf("%s", mdl)
+	}
+	pw.printf(".end\n")
+	return pw.err
+}
+
+func vtoSigned(m *MOSFET) float64 {
+	if m.PMOS {
+		return -m.P.VT
+	}
+	return m.P.VT
+}
+
+// spiceWave renders a waveform as a SPICE source specification.
+func spiceWave(w Waveform) string {
+	switch v := w.(type) {
+	case DC:
+		return fmt.Sprintf("DC %.6g", float64(v))
+	case Pulse:
+		per := v.Period
+		if per <= 0 {
+			per = 1 // effectively single-shot
+		}
+		return fmt.Sprintf("PULSE(%.6g %.6g %.6g %.6g %.6g %.6g %.6g)",
+			v.V1, v.V2, v.Delay, v.Rise, v.Fall, v.Width, per)
+	case PWL:
+		var b strings.Builder
+		b.WriteString("PWL(")
+		for i := range v.Times {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6g %.6g", v.Times[i], v.Values[i])
+		}
+		b.WriteByte(')')
+		return b.String()
+	case Sine:
+		return fmt.Sprintf("SIN(%.6g %.6g %.6g %.6g)", v.Offset, v.Amplitude, v.Freq, v.Delay)
+	case Scaled:
+		// No direct SPICE form; sample into a PWL would need a horizon.
+		return fmt.Sprintf("DC %.6g", v.At(0))
+	case Shifted:
+		if p, ok := v.W.(Pulse); ok {
+			p.Delay += v.Dt
+			return spiceWave(p)
+		}
+		return fmt.Sprintf("DC %.6g", v.At(0))
+	default:
+		return fmt.Sprintf("DC %.6g", w.At(0))
+	}
+}
+
+type printErr struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printErr) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKMatrixFlowTracksFull(t *testing.T) {
+	c := testCase(t)
+	full, err := c.RunPEEC(fastOpt(StrategyFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOpt(StrategyKMatrix)
+	r, err := c.RunPEEC(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.PositiveDefinite {
+		t.Errorf("windowed K lost positive definiteness")
+	}
+	if r.KeptFraction >= 1 || r.KeptFraction <= 0 {
+		t.Errorf("K density = %g, expected partial", r.KeptFraction)
+	}
+	dev := math.Abs(r.WorstDelay-full.WorstDelay) / full.WorstDelay
+	if dev > 0.10 {
+		t.Errorf("K-matrix delay deviates %.1f%% from full (%g vs %g)",
+			dev*100, r.WorstDelay, full.WorstDelay)
+	}
+	// With a full window the K flow equals the dense model exactly.
+	optFull := fastOpt(StrategyKMatrix)
+	optFull.KWindow = c.Par.L.Rows()
+	rf, err := c.RunPEEC(optFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devF := math.Abs(rf.WorstDelay-full.WorstDelay) / full.WorstDelay
+	if devF > 0.005 {
+		t.Errorf("full-window K deviates %.2f%% from dense L", devF*100)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/fasthenry"
+	"inductance101/internal/loopmodel"
+	"inductance101/internal/sim"
+)
+
+// LoopOptions configures the §5 loop-inductance flow.
+type LoopOptions struct {
+	// FLow and FHigh are the two extraction frequencies for the ladder
+	// fit (Fig. 3(d)).
+	FLow, FHigh float64
+	// Ladder selects the frequency-dependent ladder model; false uses
+	// the single-frequency R+L of Fig. 3(c), extracted at FHigh.
+	Ladder bool
+	// RCSegments splits the per-sink loop R/L into this many RLC-π
+	// sections ("the lumped representation can be improved by
+	// increasing the number of RLC-π segments"); 1 = fully lumped.
+	RCSegments int
+	// Transient window.
+	TStop, TStep float64
+}
+
+// DefaultLoopOptions matches the default case's band.
+func DefaultLoopOptions() LoopOptions {
+	return LoopOptions{
+		FLow: 2e8, FHigh: 1e10,
+		Ladder:     true,
+		RCSegments: 1,
+		TStop:      2.5e-9, TStep: 2e-12,
+	}
+}
+
+// RunLoop executes the loop-inductance flow: per-sink loop extraction
+// with the receiver shorted to local ground (FastHenry style), ladder
+// fit, lumped-capacitance netlist, SPICE-lite simulation. Per the
+// paper, all interconnect and load capacitance is lumped at the
+// receiver ends; the measured run time includes extraction and fitting.
+func (c *ClockCase) RunLoop(opt LoopOptions) (*FlowResult, error) {
+	start := time.Now()
+	if opt.FLow <= 0 || opt.FHigh <= opt.FLow {
+		return nil, fmt.Errorf("core: bad loop extraction band [%g, %g]", opt.FLow, opt.FHigh)
+	}
+	if opt.RCSegments <= 0 {
+		opt.RCSegments = 1
+	}
+	res := &FlowResult{Name: "LOOP(RLC)", KeptFraction: 1, PositiveDefinite: true}
+
+	lay := c.Grid.Layout
+	segs := append([]int(nil), c.Clock.Segs...)
+	segs = append(segs, c.gndSegs()...)
+
+	// Per-sink ladder extraction.
+	ladders := make([]loopmodel.Ladder, len(c.Clock.Sinks))
+	for k, sink := range c.Clock.Sinks {
+		x, y, err := c.sinkPosition(sink)
+		if err != nil {
+			return nil, err
+		}
+		shorts := [][2]string{{sink, c.nearestGndNode(x, y)}}
+		solver, err := fasthenry.NewSolver(lay, segs,
+			fasthenry.Port{Plus: c.Clock.Root, Minus: c.DriverGnd},
+			shorts, opt.FHigh, fasthenry.Options{MaxPerSide: 2})
+		if err != nil {
+			return nil, fmt.Errorf("core: loop extraction for sink %d: %w", k, err)
+		}
+		zLo, err := solver.Impedance(opt.FLow)
+		if err != nil {
+			return nil, err
+		}
+		if !opt.Ladder {
+			r, l := loopmodel.SingleFrequencyRL(zLo, opt.FLow)
+			ladders[k] = loopmodel.Ladder{R0: r, L0: l}
+			continue
+		}
+		zHi, err := solver.Impedance(opt.FHigh)
+		if err != nil {
+			return nil, err
+		}
+		ladders[k], err = loopmodel.FitTwoPoint(zLo, opt.FLow, zHi, opt.FHigh)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Netlist: per-sink ladder with the lumped capacitance at the
+	// receiver; interconnect element counts are captured before the
+	// driver is added (they are the Table 1 rows).
+	n := circuit.New()
+	cWire := c.TotalClockInterconnectCap() / float64(len(c.Clock.Sinks))
+	for k := range c.Clock.Sinks {
+		sinkNode := fmt.Sprintf("sink%d", k)
+		stampLadderSegments(n, ladders[k], opt.RCSegments, cWire+c.SinkLoad(k),
+			fmt.Sprintf("loop%d", k), "root", sinkNode)
+	}
+	res.Stats = n.Stats()
+	n.AddV("vdrv", "drv_src", circuit.Ground, c.InputWave())
+	n.AddR("rdrv", "drv_src", "root", c.Opt.DriverR)
+
+	tr, err := sim.Tran(n, sim.TranOptions{TStop: opt.TStop, TStep: opt.TStep})
+	if err != nil {
+		return nil, fmt.Errorf("core: loop transient: %w", err)
+	}
+	res.Times = tr.Times
+	res.RootV = tr.MustV("root")
+	for k := range c.Clock.Sinks {
+		res.SinkV = append(res.SinkV, tr.MustV(fmt.Sprintf("sink%d", k)))
+	}
+	if err := c.measure(res); err != nil {
+		return nil, fmt.Errorf("core: loop: %w", err)
+	}
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// stampLadderSegments distributes a ladder and the lumped capacitance
+// over nSeg RLC-π sections between nodes a and b.
+func stampLadderSegments(n *circuit.Netlist, ld loopmodel.Ladder, nSeg int, cTotal float64, prefix, a, b string) {
+	if nSeg <= 1 {
+		ld.Stamp(n, prefix, a, b)
+		n.AddC(prefix+".cl", b, circuit.Ground, cTotal)
+		return
+	}
+	// Split the ladder values evenly across sections, with the
+	// capacitance spread over section boundaries (π style: interior
+	// nodes get full shares, the receiver the final share).
+	part := loopmodel.Ladder{R0: ld.R0 / float64(nSeg), L0: ld.L0 / float64(nSeg)}
+	for _, s := range ld.Sections {
+		part.Sections = append(part.Sections, loopmodel.Section{
+			R: s.R / float64(nSeg), L: s.L / float64(nSeg),
+		})
+	}
+	cur := a
+	for k := 0; k < nSeg; k++ {
+		next := b
+		if k < nSeg-1 {
+			next = fmt.Sprintf("%s.seg%d", prefix, k)
+		}
+		part.Stamp(n, fmt.Sprintf("%s.lad%d", prefix, k), cur, next)
+		n.AddC(fmt.Sprintf("%s.c%d", prefix, k), next, circuit.Ground, cTotal/float64(nSeg))
+		cur = next
+	}
+}

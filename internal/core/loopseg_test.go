@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLoopFlowMultiSegmentAndSingleFrequency(t *testing.T) {
+	c := testCase(t)
+	base := DefaultLoopOptions()
+	base.TStop, base.TStep = 2.0e-9, 4e-12
+	ref, err := c.RunLoop(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distributing the ladder over several RLC-π sections ("the lumped
+	// representation can be improved by increasing the number of RLC-π
+	// segments") must stay close to the lumped answer at these scales.
+	multi := base
+	multi.RCSegments = 3
+	rm, err := c.RunLoop(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Stats.NumL <= ref.Stats.NumL {
+		t.Errorf("multi-segment loop netlist not larger: %d vs %d", rm.Stats.NumL, ref.Stats.NumL)
+	}
+	dev := math.Abs(rm.WorstDelay-ref.WorstDelay) / ref.WorstDelay
+	if dev > 0.25 {
+		t.Errorf("multi-segment delay deviates %.0f%% from lumped", dev*100)
+	}
+	// Single-frequency (non-ladder) variant, Fig. 3(c).
+	single := base
+	single.Ladder = false
+	rs, err := c.RunLoop(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.WorstDelay <= 0 {
+		t.Errorf("single-frequency loop model delay %g", rs.WorstDelay)
+	}
+	// Validation.
+	bad := base
+	bad.FLow, bad.FHigh = 1e10, 1e9
+	if _, err := c.RunLoop(bad); err == nil {
+		t.Errorf("inverted band accepted")
+	}
+}

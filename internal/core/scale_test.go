@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"inductance101/internal/grid"
+)
+
+func TestTable1AtScale(t *testing.T) {
+	// Scaled-up integration run: a 5x5 grid with an 8-sink tree. The
+	// qualitative Table 1 orderings must survive the size change.
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	opt := DefaultCaseOptions()
+	opt.Grid = grid.Spec{
+		NX: 5, NY: 5, Pitch: 300e-6, Width: 5e-6,
+		LayerX: 0, LayerY: 1, ViaR: 0.4,
+	}
+	opt.ClockLevels = 3 // 8 sinks
+	c, err := NewClockCase(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clock.Sinks) != 8 {
+		t.Fatalf("sinks = %d", len(c.Clock.Sinks))
+	}
+	rows, err := Table1(c, 2.0e-9, 4e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, rlc, loop := rows[0], rows[1], rows[2]
+	if rlc.WorstDelay <= rc.WorstDelay {
+		t.Errorf("scale: RLC delay %g not above RC %g", rlc.WorstDelay, rc.WorstDelay)
+	}
+	if rlc.WorstSkew <= rc.WorstSkew {
+		t.Errorf("scale: RLC skew %g not above RC %g", rlc.WorstSkew, rc.WorstSkew)
+	}
+	if loop.NumR*4 > rlc.NumR {
+		t.Errorf("scale: loop model not smaller")
+	}
+	if rlc.NumMutual < rows[1].NumL {
+		t.Errorf("scale: mutual count %d below self count %d", rlc.NumMutual, rlc.NumL)
+	}
+}

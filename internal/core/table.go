@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"inductance101/internal/units"
+)
+
+// Table1Row is one column of the paper's Table 1, transposed into a row
+// per model.
+type Table1Row struct {
+	Model      string
+	NumR       int
+	NumC       int
+	NumL       int
+	NumMutual  int
+	WorstDelay float64
+	WorstSkew  float64
+	Runtime    time.Duration
+	// Result keeps the full flow output for further inspection.
+	Result *FlowResult
+}
+
+// Table1 runs the three flows of the paper's Table 1 — PEEC (RC),
+// PEEC (RLC), LOOP (RLC) — on the case and returns their rows.
+func Table1(c *ClockCase, tranStop, tranStep float64) ([]Table1Row, error) {
+	var rows []Table1Row
+	add := func(r *FlowResult) {
+		rows = append(rows, Table1Row{
+			Model: r.Name,
+			NumR:  r.Stats.NumR, NumC: r.Stats.NumC, NumL: r.Stats.NumL,
+			NumMutual:  r.MutualCount,
+			WorstDelay: r.WorstDelay, WorstSkew: r.Skew,
+			Runtime: r.Runtime, Result: r,
+		})
+	}
+	for _, s := range []Strategy{StrategyRC, StrategyFull} {
+		opt := DefaultFlowOptions(s)
+		if tranStop > 0 {
+			opt.TStop = tranStop
+		}
+		if tranStep > 0 {
+			opt.TStep = tranStep
+		}
+		r, err := c.RunPEEC(opt)
+		if err != nil {
+			return nil, err
+		}
+		add(r)
+	}
+	lopt := DefaultLoopOptions()
+	if tranStop > 0 {
+		lopt.TStop = tranStop
+	}
+	if tranStep > 0 {
+		lopt.TStep = tranStep
+	}
+	r, err := c.RunLoop(lopt)
+	if err != nil {
+		return nil, err
+	}
+	add(r)
+	return rows, nil
+}
+
+// FormatTable1 renders the rows as the paper's table (transposed:
+// models as columns).
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%16s", r.Model)
+	}
+	b.WriteByte('\n')
+	line := func(label string, f func(r Table1Row) string) {
+		fmt.Fprintf(&b, "%-14s", label)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%16s", f(r))
+		}
+		b.WriteByte('\n')
+	}
+	line("Num. of R", func(r Table1Row) string { return fmt.Sprintf("%d", r.NumR) })
+	line("Num. of C", func(r Table1Row) string { return fmt.Sprintf("%d", r.NumC) })
+	line("Num. of L", func(r Table1Row) string {
+		if r.NumL == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", r.NumL)
+	})
+	line("# mutuals", func(r Table1Row) string {
+		if r.NumMutual == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", r.NumMutual)
+	})
+	line("Worst delay", func(r Table1Row) string { return units.FormatSI(r.WorstDelay, "s") })
+	line("Worst skew", func(r Table1Row) string { return units.FormatSI(r.WorstSkew, "s") })
+	line("Run-time", func(r Table1Row) string { return r.Runtime.Round(time.Millisecond).String() })
+	return b.String()
+}

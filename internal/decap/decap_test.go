@@ -1,0 +1,100 @@
+package decap
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeasureBlockLowFrequency(t *testing.T) {
+	gm := Typical2001()
+	// At low frequency the measured C is the lumped sum.
+	ref, err := MeasureBlock(gm, 100, 10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 * 10 * gm.CapPerWidth
+	if math.Abs(ref.MeasuredC-want)/want > 1e-3 {
+		t.Errorf("low-f block C = %g, want %g", ref.MeasuredC, want)
+	}
+	if ref.TotalWidth != 1000 {
+		t.Errorf("TotalWidth = %g", ref.TotalWidth)
+	}
+}
+
+func TestMeasureBlockHighFrequencyShielding(t *testing.T) {
+	gm := Typical2001()
+	lo, err := MeasureBlock(gm, 50, 10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Around and beyond the RC corner the series resistance shields the
+	// capacitance: effective C drops.
+	fc := 1 / (2 * math.Pi * (gm.ResPerWidth / 10) * (gm.CapPerWidth * 10))
+	hi, err := MeasureBlock(gm, 50, 10, 5*fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.MeasuredC >= lo.MeasuredC {
+		t.Errorf("high-f C %g not below low-f C %g", hi.MeasuredC, lo.MeasuredC)
+	}
+}
+
+func TestMeasureBlockErrors(t *testing.T) {
+	gm := Typical2001()
+	if _, err := MeasureBlock(gm, 0, 10, 1e6); err == nil {
+		t.Errorf("zero gates accepted")
+	}
+	if _, err := MeasureBlock(gm, 10, -1, 1e6); err == nil {
+		t.Errorf("negative width accepted")
+	}
+}
+
+func TestEstimatorTranslation(t *testing.T) {
+	ref, err := MeasureBlock(Typical2001(), 100, 10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimator(ref, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A block twice the width has twice the decap (times the static
+	// fraction).
+	c, r := e.BlockDecap(2 * ref.TotalWidth)
+	wantC := ref.MeasuredC * 2 * 0.85
+	if math.Abs(c-wantC)/wantC > 1e-12 {
+		t.Errorf("translated C = %g, want %g", c, wantC)
+	}
+	if r <= 0 {
+		t.Errorf("translated R = %g", r)
+	}
+	// Twice the block -> half the series resistance.
+	c2, r2 := e.BlockDecap(4 * ref.TotalWidth)
+	if c2 <= c || r2 >= r {
+		t.Errorf("scaling broken: c %g->%g, r %g->%g", c, c2, r, r2)
+	}
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	ref, _ := MeasureBlock(Typical2001(), 10, 10, 1e6)
+	if _, err := NewEstimator(ref, 0); err == nil {
+		t.Errorf("zero static fraction accepted")
+	}
+	if _, err := NewEstimator(ref, 1.5); err == nil {
+		t.Errorf("static fraction > 1 accepted")
+	}
+	if _, err := NewEstimator(RepresentativeBlock{}, 0.8); err == nil {
+		t.Errorf("uncharacterized reference accepted")
+	}
+}
+
+func TestStampProducesElements(t *testing.T) {
+	ref, _ := MeasureBlock(Typical2001(), 100, 10, 1e6)
+	e, _ := NewEstimator(ref, 0.9)
+	n := newNetlist()
+	e.Stamp(n, "blk0", "vdd", "gnd", 5000)
+	st := n.Stats()
+	if st.NumR != 1 || st.NumC != 1 {
+		t.Errorf("stamp produced %d R, %d C", st.NumR, st.NumC)
+	}
+}

@@ -1,0 +1,5 @@
+package decap
+
+import "inductance101/internal/circuit"
+
+func newNetlist() *circuit.Netlist { return circuit.New() }

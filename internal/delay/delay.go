@@ -1,0 +1,209 @@
+// Package delay implements moment-based RC delay metrics — Elmore (the
+// first moment) and D2M (a two-moment metric) — computed directly on RC
+// tree netlists. These are the estimators static timing flows used
+// before and during the paper's era; comparing them against simulated
+// RLC delays shows exactly where "inductance impacts ... delay
+// variations" breaks the RC abstractions.
+package delay
+
+import (
+	"fmt"
+	"math"
+
+	"inductance101/internal/circuit"
+)
+
+// Moments holds the first two moments of a node's impulse response and
+// the derived delay metrics.
+type Moments struct {
+	M1 float64 // Elmore delay (s)
+	M2 float64 // second moment (s^2)
+}
+
+// Elmore returns the Elmore delay: m1.
+func (m Moments) Elmore() float64 { return m.M1 }
+
+// D2M returns the "Delay with 2 Moments" metric of Alpert et al.:
+// D2M = ln2 * m1^2 / sqrt(m2), a far better 50% estimate than Elmore on
+// far-from-driver nodes. Falls back to Elmore when m2 degenerates.
+func (m Moments) D2M() float64 {
+	if m.M2 <= 0 {
+		return m.M1 * math.Ln2
+	}
+	return math.Ln2 * m.M1 * m.M1 / math.Sqrt(m.M2)
+}
+
+// Tree is the analyzed RC tree rooted at the driver.
+type Tree struct {
+	nodes   []string
+	parent  []int     // parent node index (-1 for root)
+	resUp   []float64 // resistance to the parent
+	cap     []float64 // grounded capacitance at each node
+	index   map[string]int
+	moments []Moments
+}
+
+// BuildTree extracts the RC tree reachable from root through the
+// netlist's resistors. Every grounded capacitor on a tree node
+// contributes load; floating (node-to-node) capacitors are rejected, as
+// are resistor loops — the Elmore recursion is only defined on trees.
+// Inductors, sources and MOSFETs are ignored (the metric models the
+// passive RC skeleton), but an inductor bridging two tree nodes would
+// hide resistance, so their presence on tree nodes is also rejected.
+func BuildTree(n *circuit.Netlist, root string) (*Tree, error) {
+	rootIdx, err := n.NodeIndex(root)
+	if err != nil {
+		return nil, err
+	}
+	if rootIdx < 0 {
+		return nil, fmt.Errorf("delay: root cannot be ground")
+	}
+	// Adjacency over resistors.
+	type edge struct {
+		to int
+		r  float64
+	}
+	adj := make(map[int][]edge)
+	for i := range n.Resistors {
+		r := &n.Resistors[i]
+		adj[r.A] = append(adj[r.A], edge{r.B, r.R})
+		adj[r.B] = append(adj[r.B], edge{r.A, r.R})
+	}
+	for i := range n.Inductors {
+		l := &n.Inductors[i]
+		if l.A == rootIdx || l.B == rootIdx {
+			return nil, fmt.Errorf("delay: inductor %s touches the tree (RC metrics do not apply)", l.Name)
+		}
+	}
+
+	t := &Tree{index: make(map[string]int)}
+	add := func(nodeIdx, parent int, r float64) int {
+		name := circuit.Ground
+		if nodeIdx >= 0 {
+			name = n.NodeName(nodeIdx)
+		}
+		id := len(t.nodes)
+		t.nodes = append(t.nodes, name)
+		t.parent = append(t.parent, parent)
+		t.resUp = append(t.resUp, r)
+		t.cap = append(t.cap, 0)
+		t.index[name] = id
+		return id
+	}
+	visited := map[int]int{} // netlist node idx -> tree id
+	rootID := add(rootIdx, -1, 0)
+	visited[rootIdx] = rootID
+	queue := []int{rootIdx}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur] {
+			if e.to < 0 {
+				continue // resistor to ground is a DC load, not a branch
+			}
+			if prev, seen := visited[e.to]; seen {
+				if t.parent[visited[cur]] != prev && prev != visited[cur] {
+					return nil, fmt.Errorf("delay: resistor loop through node %s (not a tree)", n.NodeName(e.to))
+				}
+				continue
+			}
+			// An inductor anywhere on a reached node invalidates RC.
+			for li := range n.Inductors {
+				l := &n.Inductors[li]
+				if l.A == e.to || l.B == e.to {
+					return nil, fmt.Errorf("delay: inductor %s touches the tree (RC metrics do not apply)", l.Name)
+				}
+			}
+			id := add(e.to, visited[cur], e.r)
+			visited[e.to] = id
+			queue = append(queue, e.to)
+		}
+	}
+	// Capacitors.
+	for i := range n.Capacitors {
+		c := &n.Capacitors[i]
+		aIn := c.A >= 0 && inMap(visited, c.A)
+		bIn := c.B >= 0 && inMap(visited, c.B)
+		switch {
+		case aIn && c.B < 0:
+			t.cap[visited[c.A]] += c.C
+		case bIn && c.A < 0:
+			t.cap[visited[c.B]] += c.C
+		case aIn && bIn:
+			return nil, fmt.Errorf("delay: floating capacitor %s between tree nodes", c.Name)
+		case aIn || bIn:
+			// Coupling to an off-tree node: treat as grounded at the
+			// tree side (the standard decoupled approximation).
+			if aIn {
+				t.cap[visited[c.A]] += c.C
+			} else {
+				t.cap[visited[c.B]] += c.C
+			}
+		}
+	}
+	t.computeMoments()
+	return t, nil
+}
+
+func inMap(m map[int]int, k int) bool {
+	_, ok := m[k]
+	return ok
+}
+
+// computeMoments runs the classic two-pass tree recursion: downstream
+// capacitance, then path accumulation for m1; the second moment uses
+// the "capacitance-weighted Elmore" downstream sums.
+func (t *Tree) computeMoments() {
+	n := len(t.nodes)
+	// Children lists in topological (BFS) order — parents precede
+	// children by construction.
+	downCap := make([]float64, n)
+	copy(downCap, t.cap)
+	for i := n - 1; i >= 1; i-- {
+		downCap[t.parent[i]] += downCap[i]
+	}
+	m1 := make([]float64, n)
+	for i := 1; i < n; i++ {
+		m1[i] = m1[t.parent[i]] + t.resUp[i]*downCap[i]
+	}
+	// Second moment: m2_i = sum_k R_ik * C_k * m1_k, computed with the
+	// same downstream trick on C_k * m1_k.
+	downCm := make([]float64, n)
+	for i := 0; i < n; i++ {
+		downCm[i] = t.cap[i] * m1[i]
+	}
+	for i := n - 1; i >= 1; i-- {
+		downCm[t.parent[i]] += downCm[i]
+	}
+	m2 := make([]float64, n)
+	for i := 1; i < n; i++ {
+		m2[i] = m2[t.parent[i]] + t.resUp[i]*downCm[i]
+	}
+	t.moments = make([]Moments, n)
+	for i := 0; i < n; i++ {
+		t.moments[i] = Moments{M1: m1[i], M2: m2[i]}
+	}
+}
+
+// At returns the moments of a named node.
+func (t *Tree) At(node string) (Moments, error) {
+	id, ok := t.index[node]
+	if !ok {
+		return Moments{}, fmt.Errorf("delay: node %q not in the tree", node)
+	}
+	return t.moments[id], nil
+}
+
+// Nodes lists the tree's node names in BFS order from the root.
+func (t *Tree) Nodes() []string {
+	return append([]string(nil), t.nodes...)
+}
+
+// TotalCap returns the tree's total grounded capacitance.
+func (t *Tree) TotalCap() float64 {
+	s := 0.0
+	for _, c := range t.cap {
+		s += c
+	}
+	return s
+}

@@ -1,0 +1,219 @@
+package delay
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/sim"
+)
+
+// chain builds root -R- n1 -R- n2 ... with C at every node.
+func chain(k int, r, c float64) *circuit.Netlist {
+	n := circuit.New()
+	prev := "root"
+	for i := 1; i <= k; i++ {
+		next := fmt.Sprintf("n%d", i)
+		n.AddR(fmt.Sprintf("r%d", i), prev, next, r)
+		n.AddC(fmt.Sprintf("c%d", i), next, "0", c)
+		prev = next
+	}
+	return n
+}
+
+func TestElmoreChainClosedForm(t *testing.T) {
+	// Elmore of node j in a uniform RC chain: sum_{i<=j} iR*... the
+	// classical m1(j) = R*C * sum_{i=1..j} (k - i + 1)... compute
+	// directly: m1(j) = sum over resistors i<=j of R * C_downstream(i)
+	// with C_downstream(i) = (k-i+1)*C.
+	k, r, c := 5, 100.0, 1e-14
+	tr, err := BuildTree(chain(k, r, c), "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= k; j++ {
+		want := 0.0
+		for i := 1; i <= j; i++ {
+			want += r * float64(k-i+1) * c
+		}
+		m, err := tr.At(fmt.Sprintf("n%d", j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.M1-want)/want > 1e-12 {
+			t.Errorf("Elmore(n%d) = %g, want %g", j, m.M1, want)
+		}
+	}
+	if math.Abs(tr.TotalCap()-float64(k)*c) > 1e-20 {
+		t.Errorf("TotalCap = %g", tr.TotalCap())
+	}
+}
+
+func TestElmoreBranchedTree(t *testing.T) {
+	// root -R- a -R- b ; a -R- c with caps at each. Downstream caps:
+	// at root-a resistor: Ca+Cb+Cc.
+	n := circuit.New()
+	n.AddR("r1", "root", "a", 10)
+	n.AddR("r2", "a", "b", 20)
+	n.AddR("r3", "a", "c", 30)
+	n.AddC("ca", "a", "0", 1e-13)
+	n.AddC("cb", "b", "0", 2e-13)
+	n.AddC("cc", "c", "0", 3e-13)
+	tr, err := BuildTree(n, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := tr.At("b")
+	wantB := 10*(6e-13) + 20*(2e-13)
+	if math.Abs(mb.M1-wantB)/wantB > 1e-12 {
+		t.Errorf("Elmore(b) = %g, want %g", mb.M1, wantB)
+	}
+	mc, _ := tr.At("c")
+	wantC := 10*(6e-13) + 30*(3e-13)
+	if math.Abs(mc.M1-wantC)/wantC > 1e-12 {
+		t.Errorf("Elmore(c) = %g, want %g", mc.M1, wantC)
+	}
+	if len(tr.Nodes()) != 4 {
+		t.Errorf("nodes = %v", tr.Nodes())
+	}
+}
+
+func TestMetricsAgainstSimulation(t *testing.T) {
+	// Drive the chain with an ideal step through a driver resistance
+	// and compare the metrics to the simulated 50% delay: Elmore
+	// overestimates (it is the mean, 69% point for a 1-pole), D2M is
+	// closer; both within a factor of two.
+	k, r, c := 8, 50.0, 2e-14
+	n := chain(k, r, c)
+	n.AddV("v", "src", "0", circuit.Pulse{V1: 0, V2: 1, Delay: 1e-12, Rise: 1e-13, Width: 1, Fall: 1e-13})
+	n.AddR("rdrv", "src", "root", 30)
+	tr, err := BuildTree(n, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Tran(n, sim.TranOptions{TStop: 60e-12, TStep: 5e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := fmt.Sprintf("n%d", k)
+	cross, err := sim.CrossTime(res.Times, res.MustV(last), 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simDelay := cross - 1.05e-12
+	m, err := tr.At(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Elmore() < simDelay {
+		t.Errorf("Elmore %g below simulated 50%% delay %g (must overestimate)", m.Elmore(), simDelay)
+	}
+	if m.Elmore() > 2.2*simDelay {
+		t.Errorf("Elmore %g more than ~2x simulated %g", m.Elmore(), simDelay)
+	}
+	d2m := m.D2M()
+	errD2M := math.Abs(d2m-simDelay) / simDelay
+	errElm := math.Abs(m.Elmore()-simDelay) / simDelay
+	if errD2M >= errElm {
+		t.Errorf("D2M (%g, err %.0f%%) not better than Elmore (%g, err %.0f%%) vs sim %g",
+			d2m, errD2M*100, m.Elmore(), errElm*100, simDelay)
+	}
+}
+
+func TestRCMetricsUnderestimateRLC(t *testing.T) {
+	// The punchline: add the wire's loop inductance and the simulated
+	// delay exceeds what any RC metric predicts from the same R and C.
+	n := circuit.New()
+	n.AddV("v", "src", "0", circuit.Pulse{V1: 0, V2: 1, Delay: 1e-11, Rise: 1e-12, Width: 1, Fall: 1e-12})
+	n.AddR("rdrv", "src", "root", 15)
+	n.AddR("rw", "root", "mid", 10)
+	n.AddL("lw", "mid", "out", 2.5e-9)
+	n.AddC("cw", "out", "0", 0.3e-12)
+
+	// RC tree metrics see only the resistors/caps (build on a copy
+	// without the inductor: short it).
+	rcOnly := circuit.New()
+	rcOnly.AddV("v", "src", "0", circuit.DC(0))
+	rcOnly.AddR("rdrv", "src", "root", 15)
+	rcOnly.AddR("rw", "root", "mid", 10)
+	rcOnly.AddR("rshort", "mid", "out", 1e-9)
+	rcOnly.AddC("cw", "out", "0", 0.3e-12)
+	tr, err := BuildTree(rcOnly, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tr.At("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Tran(n, sim.TranOptions{TStop: 0.5e-9, TStep: 0.05e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := sim.CrossTime(res.Times, res.MustV("out"), 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simDelay := cross - 10.5e-12
+	if m.D2M() >= simDelay {
+		t.Errorf("D2M %g should underestimate the RLC delay %g — that failure is the paper's point", m.D2M(), simDelay)
+	}
+}
+
+func TestBuildTreeErrors(t *testing.T) {
+	// Loop.
+	n := circuit.New()
+	n.AddR("r1", "root", "a", 1)
+	n.AddR("r2", "a", "b", 1)
+	n.AddR("r3", "b", "root", 1)
+	if _, err := BuildTree(n, "root"); err == nil {
+		t.Errorf("resistor loop accepted")
+	}
+	// Inductor on the tree.
+	n2 := circuit.New()
+	n2.AddR("r", "root", "a", 1)
+	n2.AddL("l", "a", "b", 1e-9)
+	if _, err := BuildTree(n2, "root"); err == nil {
+		t.Errorf("inductor on tree accepted")
+	}
+	// Floating cap between tree nodes.
+	n3 := circuit.New()
+	n3.AddR("r1", "root", "a", 1)
+	n3.AddR("r2", "root", "b", 1)
+	n3.AddC("c", "a", "b", 1e-15)
+	if _, err := BuildTree(n3, "root"); err == nil {
+		t.Errorf("floating cap accepted")
+	}
+	// Unknown nodes.
+	n4 := circuit.New()
+	n4.AddR("r", "root", "a", 1)
+	if _, err := BuildTree(n4, "zzz"); err == nil {
+		t.Errorf("unknown root accepted")
+	}
+	tr, err := BuildTree(n4, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.At("nope"); err == nil {
+		t.Errorf("unknown node accepted")
+	}
+	if _, err := BuildTree(n4, "0"); err == nil {
+		t.Errorf("ground root accepted")
+	}
+}
+
+func TestCouplingCapDecoupledApproximation(t *testing.T) {
+	// A coupling cap to an off-tree node counts as grounded load.
+	n := circuit.New()
+	n.AddR("r", "root", "a", 100)
+	n.AddC("cc", "a", "victim", 1e-13) // victim unreachable via R
+	tr, err := BuildTree(n, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := tr.At("a")
+	if math.Abs(m.M1-100*1e-13)/1e-11 > 1e-9 {
+		t.Errorf("coupling cap not counted: m1 = %g", m.M1)
+	}
+}

@@ -1,0 +1,310 @@
+package design
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"inductance101/internal/fasthenry"
+)
+
+func TestShieldingReducesLoopInductance(t *testing.T) {
+	spec := DefaultShieldSpec()
+	f := 2e9
+	_, lBare, err := ShieldedLoop(spec, false, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSh, lSh, err := ShieldedLoop(spec, true, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lSh >= lBare {
+		t.Errorf("shields did not reduce loop L: %g vs %g", lSh, lBare)
+	}
+	if lSh < lBare/20 {
+		t.Errorf("shielded L implausibly small: %g vs %g", lSh, lBare)
+	}
+	if rSh <= 0 {
+		t.Errorf("shielded R = %g", rSh)
+	}
+	// Tighter shield gap -> lower loop L.
+	tight := spec
+	tight.ShieldGap = 0.4e-6
+	_, lTight, err := ShieldedLoop(tight, true, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lTight >= lSh {
+		t.Errorf("tighter shields should reduce L further: %g vs %g", lTight, lSh)
+	}
+}
+
+func TestShieldedLoopValidation(t *testing.T) {
+	if _, _, err := ShieldedLoop(ShieldSpec{}, false, 1e9); err == nil {
+		t.Errorf("empty spec accepted")
+	}
+}
+
+func TestGroundPlaneFrequencyBehaviour(t *testing.T) {
+	spec := DefaultPlaneSpec()
+	freqs := fasthenry.LogSpace(1e8, 2e10, 5)
+	far, err := LOverFrequency(spec, VariantFarReturn, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane, err := LOverFrequency(spec, VariantPlane, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shields, err := LOverFrequency(spec, VariantShields, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(freqs) - 1
+	// At high frequency both techniques beat the lone far return, and
+	// the plane is at least competitive with shields (Fig. 6's story:
+	// planes shine at high frequency).
+	if plane[last].L >= far[last].L || shields[last].L >= far[last].L {
+		t.Errorf("high-f: plane %g / shields %g should beat far return %g",
+			plane[last].L, shields[last].L, far[last].L)
+	}
+	// L(f) must not increase with f for any variant.
+	for _, pts := range [][]fasthenry.Point{far, plane, shields} {
+		for k := 1; k < len(pts); k++ {
+			if pts[k].L > pts[k-1].L*(1+1e-9) {
+				t.Errorf("L(f) increased: %g -> %g", pts[k-1].L, pts[k].L)
+			}
+		}
+	}
+	// The plane's L falls more steeply than the lone return's
+	// (wide return choices collapse at high f).
+	dropPlane := plane[0].L - plane[last].L
+	dropFar := far[0].L - far[last].L
+	if dropPlane <= dropFar {
+		t.Errorf("plane L(f) drop %g not steeper than far-return drop %g", dropPlane, dropFar)
+	}
+}
+
+func TestInterdigitationTradeoffs(t *testing.T) {
+	spec := DefaultInterdigitSpec()
+	f := 2e9
+	solid, err := Interdigitate(spec, false, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fing, err := Interdigitate(spec, true, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Fig. 7 claims: self/loop inductance down, resistance
+	// up, capacitance up.
+	if fing.LoopL >= solid.LoopL {
+		t.Errorf("interdigitation did not reduce L: %g vs %g", fing.LoopL, solid.LoopL)
+	}
+	if fing.LoopR <= solid.LoopR {
+		t.Errorf("interdigitation should raise R: %g vs %g", fing.LoopR, solid.LoopR)
+	}
+	if fing.CTotal <= solid.CTotal {
+		t.Errorf("interdigitation should raise C: %g vs %g", fing.CTotal, solid.CTotal)
+	}
+	if fing.SignalMetalW >= solid.SignalMetalW {
+		t.Errorf("fingered signal metal %g should be below footprint %g",
+			fing.SignalMetalW, solid.SignalMetalW)
+	}
+	// Validation.
+	bad := spec
+	bad.NFingers = 1
+	if _, err := Interdigitate(bad, true, f); err == nil {
+		t.Errorf("single finger accepted")
+	}
+	bad = spec
+	bad.NFingers = 40
+	if _, err := Interdigitate(bad, true, f); err == nil {
+		t.Errorf("impossible fingering accepted")
+	}
+}
+
+func TestStaggeredInvertersReduceNoise(t *testing.T) {
+	spec := DefaultStaggerSpec()
+	aligned, err := StaggeredNoise(spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staggered, err := StaggeredNoise(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staggered >= aligned {
+		t.Errorf("staggering did not reduce noise: %g vs %g", staggered, aligned)
+	}
+	if staggered < aligned/50 {
+		t.Errorf("staggered noise implausibly small: %g vs %g", staggered, aligned)
+	}
+	if _, err := StaggeredNoise(StaggerSpec{Sections: 1}, true); err == nil {
+		t.Errorf("single section accepted")
+	}
+}
+
+func TestTwistedBundleCancelsCoupling(t *testing.T) {
+	spec := DefaultTwistSpec()
+	par, err := CouplingMatrix(spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := CouplingMatrix(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPar, kPar := WorstCoupling(par)
+	mTw, kTw := WorstCoupling(tw)
+	if mTw >= mPar/2 {
+		t.Errorf("twisting reduced worst coupling only %g -> %g", mPar, mTw)
+	}
+	if kTw >= kPar {
+		t.Errorf("twisting did not reduce coupling coefficient: %g vs %g", kTw, kPar)
+	}
+	// Self inductance of each pair stays in the same ballpark.
+	for p := 0; p < spec.NPairs; p++ {
+		if tw[p][p] <= 0 || math.Abs(tw[p][p]-par[p][p])/par[p][p] > 0.2 {
+			t.Errorf("pair %d loop L changed too much: %g vs %g", p, tw[p][p], par[p][p])
+		}
+	}
+	if _, err := CouplingMatrix(TwistSpec{NPairs: 1, Regions: 4}, true); err == nil {
+		t.Errorf("single pair accepted")
+	}
+}
+
+func TestTwistedCouplingSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := TwistSpec{
+			NPairs:       2 + rng.Intn(3),
+			Regions:      1 + rng.Intn(8),
+			TrackPitch:   (1 + rng.Float64()*3) * 1e-6,
+			RegionLength: (50 + rng.Float64()*400) * 1e-6,
+			Width:        1e-6,
+		}
+		c, err := CouplingMatrix(spec, true)
+		if err != nil {
+			return false
+		}
+		// Reciprocity: M_ij == M_ji.
+		for i := range c {
+			for j := range c {
+				if math.Abs(c[i][j]-c[j][i]) > 1e-18 {
+					return false
+				}
+			}
+			if c[i][i] <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testNets(n int) []Net {
+	nets := make([]Net, n)
+	for i := range nets {
+		nets[i] = Net{
+			Name:           string(rune('a' + i)),
+			Aggressiveness: 1 + float64(i%3),
+			Sensitivity:    1 + float64((i+1)%2),
+			CapBound:       3.5,
+			IndBound:       4.5,
+		}
+	}
+	return nets
+}
+
+func TestNoiseEvaluation(t *testing.T) {
+	nets := []Net{
+		{Name: "a", Aggressiveness: 2, Sensitivity: 1, CapBound: 10, IndBound: 10},
+		{Name: "v", Aggressiveness: 0, Sensitivity: 1, CapBound: 10, IndBound: 10},
+	}
+	nm := NoiseModel{KCap: 1, KInd: 1}
+	// Adjacent: victim sees cap 2 and ind 2.
+	capN, indN, err := Noise(nets, Placement{Tracks: []int{0, 1}}, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capN[1] != 2 || indN[1] != 2 {
+		t.Errorf("adjacent noise = %g/%g, want 2/2", capN[1], indN[1])
+	}
+	// Shield between: cap 0; inductive cut by the shield.
+	capN, indN, err = Noise(nets, Placement{Tracks: []int{0, Shield, 1}}, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capN[1] != 0 || indN[1] != 0 {
+		t.Errorf("shielded noise = %g/%g, want 0/0", capN[1], indN[1])
+	}
+	// Separated without shield: cap 0 (not adjacent) but inductive 2/2=1.
+	capN, indN, err = Noise(nets, Placement{Tracks: []int{0, 1, Shield}}, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = capN
+	if indN[1] != 2 {
+		t.Errorf("unshielded ind noise = %g, want 2", indN[1])
+	}
+	// Errors.
+	if _, _, err := Noise(nets, Placement{Tracks: []int{0, 0}}, nm); err == nil {
+		t.Errorf("duplicate net accepted")
+	}
+	if _, _, err := Noise(nets, Placement{Tracks: []int{0}}, nm); err == nil {
+		t.Errorf("missing net accepted")
+	}
+}
+
+func TestGreedyFeasible(t *testing.T) {
+	nets := testNets(8)
+	nm := NoiseModel{KCap: 1, KInd: 0.8}
+	p := Greedy(nets, nm)
+	if !Feasible(nets, p, nm) {
+		capN, indN, _ := Noise(nets, p, nm)
+		t.Fatalf("greedy placement infeasible: cap %v ind %v", capN, indN)
+	}
+}
+
+func TestAnnealAtMostGreedyShields(t *testing.T) {
+	nets := testNets(8)
+	nm := NoiseModel{KCap: 1, KInd: 0.8}
+	g := Greedy(nets, nm)
+	rng := rand.New(rand.NewSource(7))
+	a := Anneal(nets, nm, rng, DefaultAnnealOptions())
+	if !Feasible(nets, a, nm) {
+		t.Fatalf("annealed placement infeasible")
+	}
+	if a.NumShields() > g.NumShields() {
+		t.Errorf("anneal used more shields (%d) than greedy (%d)",
+			a.NumShields(), g.NumShields())
+	}
+}
+
+func TestGreedyFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		nets := make([]Net, n)
+		for i := range nets {
+			nets[i] = Net{
+				Name:           "n",
+				Aggressiveness: rng.Float64() * 3,
+				Sensitivity:    rng.Float64() * 2,
+				CapBound:       0.5 + rng.Float64()*5,
+				IndBound:       0.5 + rng.Float64()*5,
+			}
+		}
+		nm := NoiseModel{KCap: 0.5 + rng.Float64(), KInd: 0.5 + rng.Float64()}
+		return Feasible(nets, Greedy(nets, nm), nm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,16 @@
+package design
+
+import (
+	"inductance101/internal/extract"
+	"inductance101/internal/geom"
+)
+
+// Thin aliases keeping the design evaluators readable.
+
+func segGroundCap(l *geom.Layout, si int) float64 {
+	return extract.GroundCap(l, si)
+}
+
+func segCouplingCap(l *geom.Layout, si, sj int) float64 {
+	return extract.CouplingCap(l, si, sj)
+}

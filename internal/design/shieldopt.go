@@ -1,0 +1,261 @@
+package design
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Simultaneous shield insertion and net ordering (SINO), after He &
+// Lepak (ISPD 2000): place n nets on a routing row and insert grounded
+// shield tracks so that every net's capacitive and inductive noise
+// bounds are met with as few shields (as little area) as possible. The
+// paper notes the problem is NP-hard and is attacked with greedy
+// construction and simulated annealing; both are implemented here.
+
+// Net is a bus wire with its noise character.
+type Net struct {
+	Name string
+	// Aggressiveness scales the noise this net injects (slew/drive).
+	Aggressiveness float64
+	// Sensitivity scales the noise this net receives.
+	Sensitivity float64
+	// CapBound and IndBound are the per-net noise budgets.
+	CapBound, IndBound float64
+}
+
+// NoiseModel holds the coupling coefficients of the routing row.
+type NoiseModel struct {
+	// KCap is the capacitive coupling to an adjacent net (only nearest
+	// neighbours couple capacitively; a shield kills it).
+	KCap float64
+	// KInd scales inductive coupling, which falls off as 1/d with
+	// track distance d and — the halo rule — is cut off at the nearest
+	// shield (the shield carries the return current).
+	KInd float64
+}
+
+// Placement is an ordered row of tracks: each entry is a net index, or
+// Shield (-1) for a grounded shield track.
+type Placement struct {
+	Tracks []int
+}
+
+// Shield marks a shield track in a Placement.
+const Shield = -1
+
+// NumShields counts shield tracks.
+func (p Placement) NumShields() int {
+	c := 0
+	for _, t := range p.Tracks {
+		if t == Shield {
+			c++
+		}
+	}
+	return c
+}
+
+// Noise evaluates the capacitive and inductive noise of every net under
+// the placement. Capacitive noise comes from immediately adjacent
+// non-shield tracks; inductive noise sums Aggressiveness/d over nets up
+// to the nearest shield in each direction (return-limited).
+func Noise(nets []Net, p Placement, nm NoiseModel) (capN, indN []float64, err error) {
+	pos := make(map[int]int, len(nets))
+	for i, t := range p.Tracks {
+		if t == Shield {
+			continue
+		}
+		if t < 0 || t >= len(nets) {
+			return nil, nil, fmt.Errorf("design: track %d references net %d", i, t)
+		}
+		if _, dup := pos[t]; dup {
+			return nil, nil, fmt.Errorf("design: net %d appears twice", t)
+		}
+		pos[t] = i
+	}
+	if len(pos) != len(nets) {
+		return nil, nil, fmt.Errorf("design: placement has %d of %d nets", len(pos), len(nets))
+	}
+	capN = make([]float64, len(nets))
+	indN = make([]float64, len(nets))
+	for ni := range nets {
+		i := pos[ni]
+		// Capacitive: nearest neighbours only.
+		for _, j := range []int{i - 1, i + 1} {
+			if j < 0 || j >= len(p.Tracks) {
+				continue
+			}
+			t := p.Tracks[j]
+			if t == Shield {
+				continue
+			}
+			capN[ni] += nm.KCap * nets[t].Aggressiveness * nets[ni].Sensitivity
+		}
+		// Inductive: all nets out to the nearest shield each way.
+		for dir := -1; dir <= 1; dir += 2 {
+			for j := i + dir; j >= 0 && j < len(p.Tracks); j += dir {
+				t := p.Tracks[j]
+				if t == Shield {
+					break
+				}
+				d := math.Abs(float64(j - i))
+				indN[ni] += nm.KInd * nets[t].Aggressiveness * nets[ni].Sensitivity / d
+			}
+		}
+	}
+	return capN, indN, nil
+}
+
+// Feasible reports whether every net meets its bounds.
+func Feasible(nets []Net, p Placement, nm NoiseModel) bool {
+	capN, indN, err := Noise(nets, p, nm)
+	if err != nil {
+		return false
+	}
+	for i := range nets {
+		if capN[i] > nets[i].CapBound || indN[i] > nets[i].IndBound {
+			return false
+		}
+	}
+	return true
+}
+
+// Greedy builds a placement by ordering nets with sensitive and
+// aggressive nets interleaved (sensitive nets flanked by quiet ones
+// where possible), then inserting shields left-to-right wherever a
+// bound is still violated. The result is always feasible: in the worst
+// case every net ends up fully shielded.
+func Greedy(nets []Net, nm NoiseModel) Placement {
+	// Order: sort by aggressiveness, then interleave from both ends so
+	// strong aggressors sit next to insensitive nets.
+	idx := make([]int, len(nets))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by aggressiveness (ascending).
+	for a := 1; a < len(idx); a++ {
+		for b := a; b > 0 && nets[idx[b]].Aggressiveness < nets[idx[b-1]].Aggressiveness; b-- {
+			idx[b], idx[b-1] = idx[b-1], idx[b]
+		}
+	}
+	order := make([]int, 0, len(idx))
+	lo, hi := 0, len(idx)-1
+	for lo <= hi {
+		order = append(order, idx[lo])
+		lo++
+		if lo <= hi {
+			order = append(order, idx[hi])
+			hi--
+		}
+	}
+	p := Placement{Tracks: order}
+	// Insert shields until feasible.
+	for !Feasible(nets, p, nm) {
+		best := -1
+		bestGain := math.Inf(1)
+		// Try each gap; pick the one minimizing total violation.
+		for g := 0; g <= len(p.Tracks); g++ {
+			cand := insertShield(p, g)
+			v := violation(nets, cand, nm)
+			if v < bestGain {
+				bestGain = v
+				best = g
+			}
+		}
+		p = insertShield(p, best)
+		if p.NumShields() > 3*len(nets) {
+			break // safety: fully shielded must already be feasible
+		}
+	}
+	return p
+}
+
+func insertShield(p Placement, gap int) Placement {
+	tr := make([]int, 0, len(p.Tracks)+1)
+	tr = append(tr, p.Tracks[:gap]...)
+	tr = append(tr, Shield)
+	tr = append(tr, p.Tracks[gap:]...)
+	return Placement{Tracks: tr}
+}
+
+func violation(nets []Net, p Placement, nm NoiseModel) float64 {
+	capN, indN, err := Noise(nets, p, nm)
+	if err != nil {
+		return math.Inf(1)
+	}
+	v := 0.0
+	for i := range nets {
+		if capN[i] > nets[i].CapBound {
+			v += capN[i] - nets[i].CapBound
+		}
+		if indN[i] > nets[i].IndBound {
+			v += indN[i] - nets[i].IndBound
+		}
+	}
+	return v
+}
+
+// AnnealOptions tunes the simulated annealing search.
+type AnnealOptions struct {
+	Iters   int
+	T0, T1  float64 // start/end temperature
+	Penalty float64 // violation penalty weight
+}
+
+// DefaultAnnealOptions returns a configuration adequate for buses of up
+// to a few tens of nets.
+func DefaultAnnealOptions() AnnealOptions {
+	return AnnealOptions{Iters: 4000, T0: 2.0, T1: 0.01, Penalty: 50}
+}
+
+// Anneal minimizes shields (area) subject to the noise bounds by
+// simulated annealing over net orderings and shield placements,
+// starting from the greedy solution. Moves: swap two tracks, toggle a
+// shield, move a shield.
+func Anneal(nets []Net, nm NoiseModel, rng *rand.Rand, opt AnnealOptions) Placement {
+	cur := Greedy(nets, nm)
+	cost := func(p Placement) float64 {
+		return float64(p.NumShields()) + opt.Penalty*violation(nets, p, nm)
+	}
+	curCost := cost(cur)
+	best, bestCost := cur, curCost
+	for it := 0; it < opt.Iters; it++ {
+		frac := float64(it) / float64(opt.Iters)
+		temp := opt.T0 * math.Pow(opt.T1/opt.T0, frac)
+		cand := mutate(cur, rng)
+		cc := cost(cand)
+		if cc <= curCost || rng.Float64() < math.Exp((curCost-cc)/temp) {
+			cur, curCost = cand, cc
+			if cc < bestCost && Feasible(nets, cand, nm) {
+				best, bestCost = cand, cc
+			}
+		}
+	}
+	return best
+}
+
+func mutate(p Placement, rng *rand.Rand) Placement {
+	tr := append([]int(nil), p.Tracks...)
+	switch rng.Intn(3) {
+	case 0: // swap two tracks
+		if len(tr) >= 2 {
+			i, j := rng.Intn(len(tr)), rng.Intn(len(tr))
+			tr[i], tr[j] = tr[j], tr[i]
+		}
+	case 1: // remove a shield (seek cheaper solutions)
+		var sh []int
+		for i, t := range tr {
+			if t == Shield {
+				sh = append(sh, i)
+			}
+		}
+		if len(sh) > 0 {
+			i := sh[rng.Intn(len(sh))]
+			tr = append(tr[:i], tr[i+1:]...)
+		}
+	default: // insert a shield at a random gap
+		g := rng.Intn(len(tr) + 1)
+		tr = append(tr[:g], append([]int{Shield}, tr[g:]...)...)
+	}
+	return Placement{Tracks: tr}
+}

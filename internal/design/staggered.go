@@ -1,0 +1,121 @@
+package design
+
+import (
+	"fmt"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/sim"
+)
+
+// StaggerSpec describes the Fig. 8 experiment: an aggressor running
+// alongside a quiet victim for several repeater sections. With
+// staggered (inverting) repeaters the aggressor's transition direction
+// alternates section by section, so the noise coupled into the victim
+// tends to cancel; with non-staggered (non-inverting, buffer) repeaters
+// every section couples the same polarity and the noise adds up.
+type StaggerSpec struct {
+	Sections int
+	// Per-section wire parasitics.
+	SecR, SecC, SecCc float64
+	// SecL adds per-section self inductance (and with SecM, mutual
+	// coupling between aggressor and victim) so the experiment captures
+	// inductive as well as capacitive crosstalk.
+	SecL, SecM float64
+	// Vdd and edge rate of the aggressor transitions.
+	Vdd, TRise float64
+	// SectionDelay is the signal's per-section propagation delay (the
+	// repeater + wire delay), which staggering inherits.
+	SectionDelay float64
+	// RDrive and RTerm model the aggressor drivers and victim holders.
+	RDrive, RTerm float64
+}
+
+// DefaultStaggerSpec gives a representative deep-submicron bus.
+func DefaultStaggerSpec() StaggerSpec {
+	return StaggerSpec{
+		Sections: 4,
+		SecR:     20, SecC: 30e-15, SecCc: 40e-15,
+		SecL: 0.4e-9, SecM: 0.2e-9,
+		Vdd: 1.8, TRise: 80e-12,
+		SectionDelay: 60e-12,
+		RDrive:       30, RTerm: 60,
+	}
+}
+
+// StaggeredNoise simulates the victim's peak coupled noise. staggered
+// selects inverting repeaters on the aggressor (alternating transition
+// polarity per section).
+func StaggeredNoise(spec StaggerSpec, staggered bool) (float64, error) {
+	if spec.Sections < 2 {
+		return 0, fmt.Errorf("design: need >= 2 sections, got %d", spec.Sections)
+	}
+	n := circuit.New()
+	// Victim: a continuous RC(LC) line held low at the near end and
+	// terminated at the far end.
+	n.AddR("vic.hold", "v0", circuit.Ground, spec.RTerm)
+	prev := "v0"
+	var vicL []int
+	for k := 0; k < spec.Sections; k++ {
+		next := fmt.Sprintf("v%d", k+1)
+		mid := fmt.Sprintf("vm%d", k)
+		n.AddR(fmt.Sprintf("vic.r%d", k), prev, mid, spec.SecR)
+		if spec.SecL > 0 {
+			vicL = append(vicL, n.AddL(fmt.Sprintf("vic.l%d", k), mid, next, spec.SecL))
+		} else {
+			n.AddR(fmt.Sprintf("vic.rl%d", k), mid, next, 1e-3)
+		}
+		n.AddC(fmt.Sprintf("vic.c%d", k), next, circuit.Ground, spec.SecC)
+		prev = next
+	}
+	n.AddR("vic.term", prev, circuit.Ground, spec.RTerm)
+
+	// Aggressor: each section is independently driven by its repeater,
+	// modeled as a Thevenin source whose polarity and delay encode the
+	// repeater chain. Section k transitions at k*SectionDelay; if
+	// staggered, odd sections transition in the opposite direction.
+	for k := 0; k < spec.Sections; k++ {
+		rising := true
+		if staggered && k%2 == 1 {
+			rising = false
+		}
+		var w circuit.Waveform
+		delay := 0.2e-9 + float64(k)*spec.SectionDelay
+		if rising {
+			w = circuit.Pulse{V1: 0, V2: spec.Vdd, Delay: delay, Rise: spec.TRise, Width: 1, Fall: spec.TRise}
+		} else {
+			w = circuit.Pulse{V1: spec.Vdd, V2: 0, Delay: delay, Rise: spec.TRise, Width: 1, Fall: spec.TRise}
+		}
+		src := fmt.Sprintf("asrc%d", k)
+		anode := fmt.Sprintf("a%d", k)
+		amid := fmt.Sprintf("am%d", k)
+		n.AddV("agg.v"+src, src, circuit.Ground, w)
+		n.AddR(fmt.Sprintf("agg.rd%d", k), src, amid, spec.RDrive)
+		var aggLi int = -1
+		if spec.SecL > 0 {
+			aggLi = n.AddL(fmt.Sprintf("agg.l%d", k), amid, anode, spec.SecL)
+		} else {
+			n.AddR(fmt.Sprintf("agg.rl%d", k), amid, anode, 1e-3)
+		}
+		n.AddC(fmt.Sprintf("agg.c%d", k), anode, circuit.Ground, spec.SecC)
+		// Coupling to the victim section.
+		n.AddC(fmt.Sprintf("cc%d", k), anode, fmt.Sprintf("v%d", k+1), spec.SecCc)
+		if spec.SecM > 0 && spec.SecL > 0 && aggLi >= 0 {
+			n.AddM(fmt.Sprintf("mm%d", k), aggLi, vicL[k], spec.SecM)
+		}
+	}
+
+	tstop := 0.2e-9 + float64(spec.Sections)*spec.SectionDelay + 10*spec.TRise + 1e-9
+	res, err := sim.Tran(n, sim.TranOptions{TStop: tstop, TStep: spec.TRise / 16})
+	if err != nil {
+		return 0, err
+	}
+	// Peak noise anywhere along the victim.
+	worst := 0.0
+	for k := 0; k <= spec.Sections; k++ {
+		v := res.MustV(fmt.Sprintf("v%d", k))
+		if p := sim.PeakAbs(v); p > worst {
+			worst = p
+		}
+	}
+	return worst, nil
+}

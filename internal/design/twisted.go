@@ -1,0 +1,129 @@
+package design
+
+import (
+	"fmt"
+	"math"
+
+	"inductance101/internal/extract"
+)
+
+// TwistSpec describes a Fig. 9 twisted-bundle experiment: nets routed
+// as differential signal/return pairs through a bundle of parallel
+// tracks, with the chip divided into routing regions. In the parallel
+// bundle every net keeps its tracks in all regions; in the twisted
+// bundle the pair assignments are permuted region by region so the
+// magnetic flux an aggressor couples into a victim loop cancels across
+// regions.
+type TwistSpec struct {
+	// NPairs differential net pairs occupy 2*NPairs tracks.
+	NPairs int
+	// Regions along the length.
+	Regions int
+	// TrackPitch and RegionLength set the geometry.
+	TrackPitch   float64
+	RegionLength float64
+	Width        float64
+}
+
+// DefaultTwistSpec gives a 4-pair, 8-region bundle.
+func DefaultTwistSpec() TwistSpec {
+	return TwistSpec{
+		NPairs: 4, Regions: 8,
+		TrackPitch: 2.4e-6, RegionLength: 250e-6, Width: 1e-6,
+	}
+}
+
+// pairAssignment returns, for each region, the track index of each
+// pair's signal and return wires.
+type pairAssignment struct {
+	sig, ret []int // per pair
+}
+
+// assignments builds the track plan: parallel keeps a fixed layout;
+// twisted swaps each pair's signal/return tracks in alternating regions
+// with a pair-dependent phase (pair p swaps in regions where
+// (region >> p) & 1 flips — the complementary-loop construction of
+// Zhong et al., giving distinct twist rates per pair).
+func assignments(spec TwistSpec, twisted bool) []pairAssignment {
+	out := make([]pairAssignment, spec.Regions)
+	for r := 0; r < spec.Regions; r++ {
+		a := pairAssignment{sig: make([]int, spec.NPairs), ret: make([]int, spec.NPairs)}
+		for p := 0; p < spec.NPairs; p++ {
+			s, t := 2*p, 2*p+1
+			if twisted {
+				period := 1 << uint(p) // pair p twists every 2^p regions
+				if (r/period)%2 == 1 {
+					s, t = t, s
+				}
+			}
+			a.sig[p], a.ret[p] = s, t
+		}
+		out[r] = a
+	}
+	return out
+}
+
+// CouplingMatrix computes the aggressor->victim inductive coupling
+// between every pair of nets: the mutual inductance between the
+// aggressor's signal-return loop and the victim's loop, summed over
+// regions. Entry (i, j) is the net flux coupling of aggressor j into
+// victim i in henries; the diagonal holds each pair's own loop
+// inductance.
+func CouplingMatrix(spec TwistSpec, twisted bool) ([][]float64, error) {
+	if spec.NPairs < 2 || spec.Regions < 1 {
+		return nil, fmt.Errorf("design: need >= 2 pairs and >= 1 region")
+	}
+	asg := assignments(spec, twisted)
+	trackY := func(t int) float64 { return float64(t) * spec.TrackPitch }
+	// Mutual between two tracks over one region (same x span).
+	m := func(ta, tb int) float64 {
+		if ta == tb {
+			return extract.SelfInductanceBar(spec.RegionLength, spec.Width, spec.Width/2)
+		}
+		d := math.Abs(trackY(ta) - trackY(tb))
+		return extract.MutualFilaments(spec.RegionLength, spec.RegionLength, 0, d)
+	}
+	n := spec.NPairs
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for _, a := range asg {
+		for vi := 0; vi < n; vi++ {
+			for aj := 0; aj < n; aj++ {
+				if vi == aj {
+					// Own-loop inductance of the pair in this region.
+					out[vi][aj] += m(a.sig[vi], a.sig[vi]) + m(a.ret[vi], a.ret[vi]) -
+						2*m(a.sig[vi], a.ret[vi])
+					continue
+				}
+				// Loop-to-loop mutual: (s_v - r_v) x (s_a - r_a).
+				out[vi][aj] += m(a.sig[vi], a.sig[aj]) - m(a.sig[vi], a.ret[aj]) -
+					m(a.ret[vi], a.sig[aj]) + m(a.ret[vi], a.ret[aj])
+			}
+		}
+	}
+	return out, nil
+}
+
+// WorstCoupling returns the largest |off-diagonal| entry (the worst
+// aggressor-victim flux linkage) and the worst coupling coefficient
+// k = |M| / sqrt(L_v L_a).
+func WorstCoupling(c [][]float64) (worstM, worstK float64) {
+	for i := range c {
+		for j := range c[i] {
+			if i == j {
+				continue
+			}
+			am := math.Abs(c[i][j])
+			if am > worstM {
+				worstM = am
+			}
+			den := math.Sqrt(c[i][i] * c[j][j])
+			if den > 0 && am/den > worstK {
+				worstK = am / den
+			}
+		}
+	}
+	return worstM, worstK
+}

@@ -1,0 +1,67 @@
+package extract
+
+import (
+	"runtime"
+	"sync"
+
+	"inductance101/internal/geom"
+	"inductance101/internal/matrix"
+)
+
+// InductanceMatrixParallel is InductanceMatrix with the row loop spread
+// across CPUs. The partial-inductance matrix dominates extraction time
+// on large layouts (the paper's 10^5-segment nets imply 10^10 pair
+// evaluations); rows are independent, so this parallelizes perfectly.
+// workers <= 0 uses GOMAXPROCS. The result is bit-identical to the
+// serial version — each entry is computed exactly once by one goroutine.
+func InductanceMatrixParallel(l *geom.Layout, segs []int, window float64, opt GMDOptions, workers int) *matrix.Dense {
+	n := len(segs)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return InductanceMatrix(l, segs, window, opt)
+	}
+	m := matrix.NewDense(n, n)
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		i := int(next)
+		next++
+		return i
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i >= n {
+					return
+				}
+				si := &l.Segments[segs[i]]
+				t := l.Layers[si.Layer].Thickness
+				m.Set(i, i, SelfInductanceBar(si.Length, si.Width, t))
+				for j := i + 1; j < n; j++ {
+					sj := &l.Segments[segs[j]]
+					pg, ok := l.Parallel(segs[i], segs[j])
+					if !ok || pg.D > window {
+						continue
+					}
+					tj := l.Layers[sj.Layer].Thickness
+					v := MutualBars(pg, si.Width, t, sj.Width, tj, opt)
+					m.Set(i, j, v)
+					m.Set(j, i, v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return m
+}

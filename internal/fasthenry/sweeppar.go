@@ -1,0 +1,59 @@
+package fasthenry
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"inductance101/internal/units"
+)
+
+// SweepParallel runs the frequency sweep with one goroutine per CPU:
+// each frequency's complex solve is independent, which makes extraction
+// sweeps (the dominant cost of the loop-model flow) scale with cores.
+// Results are identical to Sweep, in ascending frequency order.
+func (s *Solver) SweepParallel(freqs []float64, workers int) ([]Point, error) {
+	fs := append([]float64(nil), freqs...)
+	sort.Float64s(fs)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fs) {
+		workers = len(fs)
+	}
+	out := make([]Point, len(fs))
+	errs := make([]error, len(fs))
+	var idx int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := idx
+				idx++
+				mu.Unlock()
+				if i >= len(fs) {
+					return
+				}
+				z, err := s.Impedance(fs[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				r, l := RL(z, fs[i])
+				out[i] = Point{Freq: fs[i], Z: z, R: r, L: l}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fasthenry: at %s: %w", units.FormatSI(fs[i], "Hz"), err)
+		}
+	}
+	return out, nil
+}

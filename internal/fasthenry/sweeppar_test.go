@@ -1,0 +1,30 @@
+package fasthenry
+
+import "testing"
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	l, segs, port, shorts := signalOverReturn(1500e-6, 4e-6, 10e-6)
+	s, err := NewSolver(l, segs, port, shorts, 1e10, Options{MaxPerSide: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := LogSpace(1e8, 1e10, 6)
+	serial, err := s.Sweep(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		par, err := s.SweepParallel(freqs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("length mismatch")
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d point %d: %+v != %+v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}

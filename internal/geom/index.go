@@ -1,0 +1,135 @@
+package geom
+
+import "math"
+
+// Index is a uniform-grid spatial index over a layout's segments. The
+// extractor uses it to find coupling-capacitance neighbours and to build
+// windowed mutual-inductance interaction lists without the O(n^2) scan.
+type Index struct {
+	layout   *Layout
+	cell     float64
+	x0, y0   float64
+	nx, ny   int
+	cells    [][]int // cell -> segment indices
+	allIdx   []int
+	diagonal float64
+}
+
+// NewIndex builds an index with the given cell size. A cell size of 0
+// picks sqrt(area/n) heuristically.
+func NewIndex(l *Layout, cellSize float64) *Index {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for i := range l.Segments {
+		x0, y0, x1, y1 := l.Segments[i].BBox()
+		minX = math.Min(minX, x0)
+		minY = math.Min(minY, y0)
+		maxX = math.Max(maxX, x1)
+		maxY = math.Max(maxY, y1)
+	}
+	if len(l.Segments) == 0 {
+		minX, minY, maxX, maxY = 0, 0, 1, 1
+	}
+	w, h := maxX-minX, maxY-minY
+	if cellSize <= 0 {
+		area := math.Max(w*h, 1e-18)
+		cellSize = math.Sqrt(area / math.Max(float64(len(l.Segments)), 1))
+		if cellSize <= 0 {
+			cellSize = 1e-6
+		}
+	}
+	nx := int(w/cellSize) + 1
+	ny := int(h/cellSize) + 1
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	idx := &Index{
+		layout:   l,
+		cell:     cellSize,
+		x0:       minX,
+		y0:       minY,
+		nx:       nx,
+		ny:       ny,
+		cells:    make([][]int, nx*ny),
+		diagonal: math.Hypot(w, h),
+	}
+	for i := range l.Segments {
+		x0, y0, x1, y1 := l.Segments[i].BBox()
+		idx.forCells(x0, y0, x1, y1, func(c int) {
+			idx.cells[c] = append(idx.cells[c], i)
+		})
+		idx.allIdx = append(idx.allIdx, i)
+	}
+	return idx
+}
+
+func (idx *Index) forCells(x0, y0, x1, y1 float64, f func(cell int)) {
+	cx0 := idx.clampX(int((x0 - idx.x0) / idx.cell))
+	cx1 := idx.clampX(int((x1 - idx.x0) / idx.cell))
+	cy0 := idx.clampY(int((y0 - idx.y0) / idx.cell))
+	cy1 := idx.clampY(int((y1 - idx.y0) / idx.cell))
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			f(cy*idx.nx + cx)
+		}
+	}
+}
+
+func (idx *Index) clampX(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= idx.nx {
+		return idx.nx - 1
+	}
+	return c
+}
+
+func (idx *Index) clampY(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= idx.ny {
+		return idx.ny - 1
+	}
+	return c
+}
+
+// Query returns the segment indices whose bounding box, expanded by
+// margin, intersects the query box. Results are deduplicated and in
+// ascending order of first insertion; the same segment is reported once.
+func (idx *Index) Query(x0, y0, x1, y1, margin float64) []int {
+	seen := make(map[int]bool)
+	var out []int
+	idx.forCells(x0-margin, y0-margin, x1+margin, y1+margin, func(c int) {
+		for _, si := range idx.cells[c] {
+			if seen[si] {
+				continue
+			}
+			sx0, sy0, sx1, sy1 := idx.layout.Segments[si].BBox()
+			if sx1 < x0-margin || sx0 > x1+margin || sy1 < y0-margin || sy0 > y1+margin {
+				continue
+			}
+			seen[si] = true
+			out = append(out, si)
+		}
+	})
+	return out
+}
+
+// Neighbors returns segments within dist of segment i (bounding-box
+// test), excluding i itself.
+func (idx *Index) Neighbors(i int, dist float64) []int {
+	x0, y0, x1, y1 := idx.layout.Segments[i].BBox()
+	cand := idx.Query(x0, y0, x1, y1, dist)
+	out := cand[:0]
+	for _, c := range cand {
+		if c != i {
+			out = append(out, c)
+		}
+	}
+	return out
+}

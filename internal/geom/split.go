@@ -1,0 +1,48 @@
+package geom
+
+// SplitWideSegments returns a copy of the layout in which every segment
+// wider than maxWidth is replaced by parallel strips of equal width that
+// share the original end nodes. This is the preprocessing §3 of the
+// paper requires before partial-inductance extraction: the analytical
+// formulas do not model skin effect, so "very wide conductors must be
+// split into narrower lines before computing inductance" — the parallel
+// strips let current redistribute among them in simulation, recovering
+// the frequency dependence the single wide bar would hide.
+//
+// The mapping from new segment index to the original segment index is
+// returned alongside, for carrying net/probe bookkeeping across the
+// transform.
+func SplitWideSegments(l *Layout, maxWidth float64) (*Layout, []int) {
+	if maxWidth <= 0 {
+		panic("geom: SplitWideSegments with non-positive maxWidth")
+	}
+	out := NewLayout(append([]Layer(nil), l.Layers...))
+	var origin []int
+	for i := range l.Segments {
+		s := l.Segments[i]
+		if s.Width <= maxWidth {
+			out.AddSegment(s)
+			origin = append(origin, i)
+			continue
+		}
+		n := int(s.Width/maxWidth) + 1
+		stripW := s.Width / float64(n)
+		// Strips span the original footprint; centre-line offsets are
+		// symmetric about the original centre line.
+		for k := 0; k < n; k++ {
+			off := -s.Width/2 + (float64(k)+0.5)*stripW
+			strip := s
+			strip.Width = stripW
+			if s.Dir == DirX {
+				strip.Y0 = s.Y0 + off
+			} else {
+				strip.X0 = s.X0 + off
+			}
+			out.AddSegment(strip)
+			origin = append(origin, i)
+		}
+	}
+	// Vias are positional; copy unchanged.
+	out.Vias = append(out.Vias, l.Vias...)
+	return out, origin
+}

@@ -1,0 +1,76 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitWideSegments(t *testing.T) {
+	l := NewLayout(testLayers())
+	l.AddSegment(Segment{Layer: 2, Dir: DirX, X0: 0, Y0: 0, Length: 100e-6, Width: 10e-6,
+		Net: "wide", NodeA: "a", NodeB: "b"})
+	l.AddSegment(Segment{Layer: 2, Dir: DirY, X0: 50e-6, Y0: 20e-6, Length: 80e-6, Width: 2e-6,
+		Net: "thin", NodeA: "c", NodeB: "d"})
+	l.AddVia(Via{X: 0, Y: 0, LayerLo: 0, LayerHi: 1, Resistance: 1, NodeLo: "a", NodeHi: "c"})
+
+	out, origin := SplitWideSegments(l, 3e-6)
+	// 10um wire at 3um max -> 4 strips of 2.5um; thin wire untouched.
+	if len(out.Segments) != 5 {
+		t.Fatalf("segments = %d, want 5", len(out.Segments))
+	}
+	if len(origin) != 5 || origin[0] != 0 || origin[3] != 0 || origin[4] != 1 {
+		t.Errorf("origin map = %v", origin)
+	}
+	totalW := 0.0
+	for i := 0; i < 4; i++ {
+		s := &out.Segments[i]
+		if s.NodeA != "a" || s.NodeB != "b" || s.Net != "wide" {
+			t.Errorf("strip %d lost identity: %+v", i, s)
+		}
+		totalW += s.Width
+	}
+	if math.Abs(totalW-10e-6) > 1e-12 {
+		t.Errorf("strip widths sum to %g, want 10um", totalW)
+	}
+	// Strips stay within the original footprint.
+	for i := 0; i < 4; i++ {
+		_, y0, _, y1 := out.Segments[i].BBox()
+		if y0 < -5e-6-1e-12 || y1 > 5e-6+1e-12 {
+			t.Errorf("strip %d outside footprint: [%g, %g]", i, y0, y1)
+		}
+	}
+	if len(out.Vias) != 1 {
+		t.Errorf("vias lost")
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("split layout invalid: %v", err)
+	}
+}
+
+func TestSplitWideSegmentsVertical(t *testing.T) {
+	l := NewLayout(testLayers())
+	l.AddSegment(Segment{Layer: 2, Dir: DirY, X0: 10e-6, Y0: 0, Length: 50e-6, Width: 8e-6,
+		Net: "w", NodeA: "a", NodeB: "b"})
+	out, _ := SplitWideSegments(l, 4e-6)
+	if len(out.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3", len(out.Segments))
+	}
+	// Centres straddle x=10um symmetrically.
+	mean := 0.0
+	for i := range out.Segments {
+		mean += out.Segments[i].X0
+	}
+	mean /= 3
+	if math.Abs(mean-10e-6) > 1e-12 {
+		t.Errorf("strip centre mean %g, want 10um", mean)
+	}
+}
+
+func TestSplitWideSegmentsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	SplitWideSegments(NewLayout(testLayers()), 0)
+}

@@ -1,0 +1,121 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"inductance101/internal/geom"
+)
+
+// ClockSpec parameterizes an H-tree clock net routed over the grid.
+type ClockSpec struct {
+	// Levels of H-tree recursion: 2^Levels sinks.
+	Levels int
+	// CX, CY is the tree centre; Span the first-level arm length.
+	CX, CY, Span float64
+	// Width is the trunk width; arms taper by TaperRatio per level
+	// (1 = no taper).
+	Width      float64
+	TaperRatio float64
+	// Layer carries the whole tree (global clock layer).
+	Layer int
+	// SegsPerArm splits each arm into this many series segments for
+	// distributed-RC accuracy (default 1).
+	SegsPerArm int
+}
+
+// DefaultClockSpec sizes a tree to a grid model's extent.
+func DefaultClockSpec(m *Model) ClockSpec {
+	w, h := m.Extent()
+	return ClockSpec{
+		Levels: 2,
+		CX:     w / 2, CY: h / 2,
+		Span:  w / 2.5,
+		Width: 4e-6, TaperRatio: 0.7,
+		Layer:      m.Spec.LayerY,
+		SegsPerArm: 1,
+	}
+}
+
+// ClockNet is the generated clock topology.
+type ClockNet struct {
+	Root  string   // node name of the tree root (driver output)
+	Sinks []string // leaf node names (receiver inputs)
+	Segs  []int    // layout segment indices of the net
+}
+
+// AddClockTree routes an H-tree onto the layout and returns its nodes.
+func AddClockTree(lay *geom.Layout, spec ClockSpec) (*ClockNet, error) {
+	if spec.Levels < 1 || spec.Levels > 6 {
+		return nil, fmt.Errorf("grid: clock levels %d outside [1, 6]", spec.Levels)
+	}
+	if spec.Span <= 0 || spec.Width <= 0 {
+		return nil, fmt.Errorf("grid: non-positive clock span/width")
+	}
+	if spec.SegsPerArm <= 0 {
+		spec.SegsPerArm = 1
+	}
+	if spec.TaperRatio <= 0 || spec.TaperRatio > 1 {
+		spec.TaperRatio = 1
+	}
+	cn := &ClockNet{Root: "clk_root"}
+	var route func(x, y, span, width float64, level int, horizontal bool, node string)
+	route = func(x, y, span, width float64, level int, horizontal bool, node string) {
+		if level == spec.Levels {
+			cn.Sinks = append(cn.Sinks, node)
+			return
+		}
+		for side, sgn := range []float64{-1, 1} {
+			var cx, cy float64
+			if horizontal {
+				cx, cy = x+sgn*span, y
+			} else {
+				cx, cy = x, y+sgn*span
+			}
+			child := fmt.Sprintf("%s_%d%d", node, level, side)
+			addArm(lay, cn, spec, x, y, cx, cy, width, node, child)
+			route(cx, cy, span/2, width*spec.TaperRatio, level+1, !horizontal, child)
+		}
+	}
+	route(spec.CX, spec.CY, spec.Span, spec.Width, 0, true, cn.Root)
+	return cn, nil
+}
+
+// addArm routes a straight arm from (x0,y0)=node a to (x1,y1)=node b,
+// split into spec.SegsPerArm segments.
+func addArm(lay *geom.Layout, cn *ClockNet, spec ClockSpec, x0, y0, x1, y1, width float64, a, b string) {
+	n := spec.SegsPerArm
+	dx := (x1 - x0) / float64(n)
+	dy := (y1 - y0) / float64(n)
+	prev := a
+	for k := 0; k < n; k++ {
+		sx, sy := x0+float64(k)*dx, y0+float64(k)*dy
+		ex, ey := sx+dx, sy+dy
+		next := b
+		if k < n-1 {
+			next = fmt.Sprintf("%s_s%d", b, k)
+		}
+		seg := geom.Segment{Layer: spec.Layer, Width: width, Net: "clk"}
+		if dy == 0 {
+			seg.Dir = geom.DirX
+			seg.Length = math.Abs(ex - sx)
+			seg.Y0 = sy
+			if ex > sx {
+				seg.X0, seg.NodeA, seg.NodeB = sx, prev, next
+			} else {
+				seg.X0, seg.NodeA, seg.NodeB = ex, next, prev
+			}
+		} else {
+			seg.Dir = geom.DirY
+			seg.Length = math.Abs(ey - sy)
+			seg.X0 = sx
+			if ey > sy {
+				seg.Y0, seg.NodeA, seg.NodeB = sy, prev, next
+			} else {
+				seg.Y0, seg.NodeA, seg.NodeB = ey, next, prev
+			}
+		}
+		cn.Segs = append(cn.Segs, lay.AddSegment(seg))
+		prev = next
+	}
+}

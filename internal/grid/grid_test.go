@@ -1,0 +1,251 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/decap"
+	"inductance101/internal/extract"
+	"inductance101/internal/pkgmodel"
+	"inductance101/internal/sim"
+)
+
+func TestBuildPowerGridStructure(t *testing.T) {
+	spec := DefaultSpec()
+	m, err := BuildPowerGrid(StandardLayers(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Layout.Validate(); err != nil {
+		t.Fatalf("generated layout invalid: %v", err)
+	}
+	// Segment count: per net, NY lines * (NX-1) X-segments plus
+	// NX lines * (NY-1) Y-segments.
+	wantSegs := 2 * (spec.NY*(spec.NX-1) + spec.NX*(spec.NY-1))
+	if len(m.Layout.Segments) != wantSegs {
+		t.Errorf("segments = %d, want %d", len(m.Layout.Segments), wantSegs)
+	}
+	wantVias := 2 * spec.NX * spec.NY
+	if len(m.Layout.Vias) != wantVias {
+		t.Errorf("vias = %d, want %d", len(m.Layout.Vias), wantVias)
+	}
+	if len(m.VddPads) != 4 || len(m.GndPads) != 4 {
+		t.Errorf("pads: %d vdd, %d gnd", len(m.VddPads), len(m.GndPads))
+	}
+	nets := m.Layout.Nets()
+	if len(nets) != 2 {
+		t.Errorf("nets = %v", nets)
+	}
+}
+
+func TestBuildPowerGridValidation(t *testing.T) {
+	ls := StandardLayers()
+	for _, s := range []Spec{
+		{NX: 1, NY: 4, Pitch: 1e-6, Width: 1e-7, LayerX: 0, LayerY: 1, ViaR: 1},
+		{NX: 4, NY: 4, Pitch: 0, Width: 1e-7, LayerX: 0, LayerY: 1, ViaR: 1},
+		{NX: 4, NY: 4, Pitch: 1e-6, Width: 1e-7, LayerX: 0, LayerY: 0, ViaR: 1},
+	} {
+		if _, err := BuildPowerGrid(ls, s); err == nil {
+			t.Errorf("bad spec accepted: %+v", s)
+		}
+	}
+}
+
+func TestNearestGridNodes(t *testing.T) {
+	m, err := BuildPowerGrid(StandardLayers(), DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, g := m.NearestGridNodes(0, 0)
+	if v != m.VddX[0][0] || g != m.GndX[0][0] {
+		t.Errorf("nearest to origin: %s, %s", v, g)
+	}
+	w, h := m.Extent()
+	v, _ = m.NearestGridNodes(w*2, h*2) // clamped
+	if v != m.VddX[m.Spec.NY-1][m.Spec.NX-1] {
+		t.Errorf("clamping broken: %s", v)
+	}
+}
+
+func TestAddClockTree(t *testing.T) {
+	m, err := BuildPowerGrid(StandardLayers(), DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultClockSpec(m)
+	cn, err := AddClockTree(m.Layout, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cn.Sinks) != 1<<spec.Levels {
+		t.Errorf("sinks = %d, want %d", len(cn.Sinks), 1<<spec.Levels)
+	}
+	if err := m.Layout.Validate(); err != nil {
+		t.Fatalf("layout with clock invalid: %v", err)
+	}
+	// Every clock segment is on the clock net.
+	for _, si := range cn.Segs {
+		if m.Layout.Segments[si].Net != "clk" {
+			t.Errorf("segment %d not on clk net", si)
+		}
+	}
+	// Symmetric H-tree: all sinks equidistant (by construction total
+	// route length per sink is equal). Check geometric symmetry of sink
+	// count per quadrant through segment positions.
+	if len(cn.Segs) == 0 {
+		t.Fatal("no clock segments")
+	}
+	if _, err := AddClockTree(m.Layout, ClockSpec{Levels: 0}); err == nil {
+		t.Errorf("zero levels accepted")
+	}
+}
+
+func TestClockTreeMultiSegmentArms(t *testing.T) {
+	m, _ := BuildPowerGrid(StandardLayers(), DefaultSpec())
+	spec := DefaultClockSpec(m)
+	spec.SegsPerArm = 3
+	cn, err := AddClockTree(m.Layout, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec1 := DefaultClockSpec(m)
+	lay2, _ := BuildPowerGrid(StandardLayers(), DefaultSpec())
+	cn1, err := AddClockTree(lay2.Layout, spec1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cn.Segs) != 3*len(cn1.Segs) {
+		t.Errorf("3 segs/arm gave %d segments vs %d single", len(cn.Segs), len(cn1.Segs))
+	}
+	if err := m.Layout.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPEECNetlistModes(t *testing.T) {
+	m, err := BuildPowerGrid(StandardLayers(), Spec{
+		NX: 3, NY: 3, Pitch: 50e-6, Width: 3e-6, LayerX: 0, LayerY: 1, ViaR: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := extract.Extract(m.Layout, extract.DefaultOptions())
+	rc, err := BuildPEECNetlist(m.Layout, par, PEECOptions{Mode: ModeRC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlc, err := BuildPEECNetlist(m.Layout, par, PEECOptions{Mode: ModeRLC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcStats, rlcStats := rc.Stats(), rlc.Stats()
+	if srcStats.NumL != 0 || rlcStats.NumL != len(par.Segs) {
+		t.Errorf("L counts: RC %d, RLC %d (want 0 and %d)", srcStats.NumL, rlcStats.NumL, len(par.Segs))
+	}
+	if rlc.MutualCount == 0 {
+		t.Errorf("no mutuals stamped in RLC mode")
+	}
+	if srcStats.NumR != rlcStats.NumR {
+		t.Errorf("R counts differ: %d vs %d", srcStats.NumR, rlcStats.NumR)
+	}
+	// Mutual floor drops weak couplings.
+	rlcF, err := BuildPEECNetlist(m.Layout, par, PEECOptions{Mode: ModeRLC, MutualFloor: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rlcF.MutualCount >= rlc.MutualCount {
+		t.Errorf("mutual floor dropped nothing: %d vs %d", rlcF.MutualCount, rlc.MutualCount)
+	}
+}
+
+func TestGridDCDrop(t *testing.T) {
+	m, err := BuildPowerGrid(StandardLayers(), DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := extract.Extract(m.Layout, extract.DefaultOptions())
+	p, err := BuildPEECNetlist(m.Layout, par, PEECOptions{Mode: ModeRC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Netlist
+	if err := m.AttachPackage(n, pkgmodel.FlipChip(), 1.8); err != nil {
+		t.Fatal(err)
+	}
+	// Uniform load: 1mA at every crossing.
+	for i := 0; i < m.Spec.NY; i++ {
+		for j := 0; j < m.Spec.NX; j++ {
+			n.AddI("load", m.VddX[i][j], m.GndX[i][j], circuit.DC(1e-3))
+		}
+	}
+	drop, err := IRDropDC(m, n, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drop <= 0 || drop > 0.5 {
+		t.Errorf("DC IR drop = %g V, implausible", drop)
+	}
+}
+
+func TestFullFlowTransient(t *testing.T) {
+	// The integration test of the whole §3 model: grid + package +
+	// decap + background noise + a switching driver; transient runs and
+	// the grid node voltage dips but stays near vdd.
+	m, err := BuildPowerGrid(StandardLayers(), Spec{
+		NX: 3, NY: 3, Pitch: 60e-6, Width: 3e-6, LayerX: 0, LayerY: 1, ViaR: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := extract.Extract(m.Layout, extract.DefaultOptions())
+	p, err := BuildPEECNetlist(m.Layout, par, PEECOptions{Mode: ModeRLC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Netlist
+	vdd := 1.8
+	if err := m.AttachPackage(n, pkgmodel.FlipChip(), vdd); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := decap.MeasureBlock(decap.Typical2001(), 100, 10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := decap.NewEstimator(ref, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddDecap(n, est, 2e4)
+	rng := rand.New(rand.NewSource(42))
+	m.AddBackgroundActivity(n, rng, 3, 5e-3, 1e-9)
+	// Driver: inverter at the centre crossing, driving a lumped load.
+	vddNode, gndNode := m.NearestGridNodes(60e-6, 60e-6)
+	n.AddV("vin", "drvin", circuit.Ground, circuit.Pulse{V1: 0, V2: vdd, Delay: 0.2e-9, Rise: 60e-12, Width: 3e-9, Fall: 60e-12})
+	n.AddInverter("drv", "drvin", "drvout", vddNode, gndNode,
+		circuit.TypicalNMOS(20), circuit.TypicalPMOS(20), 5e-15, 10e-15)
+	n.AddC("cload", "drvout", circuit.Ground, 100e-15)
+
+	res, err := sim.Tran(n, sim.TranOptions{TStop: 2e-9, TStep: 4e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg := res.MustV(vddNode)
+	minV := vdd
+	for _, v := range vg {
+		minV = math.Min(minV, v)
+	}
+	droop := vdd - minV
+	if droop <= 0 {
+		t.Errorf("no supply droop despite switching activity")
+	}
+	if droop > 0.5*vdd {
+		t.Errorf("supply droop %g V implausibly large", droop)
+	}
+	// Driver output must actually switch low.
+	vo := res.MustV("drvout")
+	if vo[len(vo)-1] > 0.2*vdd {
+		t.Errorf("driver output did not switch: %g", vo[len(vo)-1])
+	}
+}

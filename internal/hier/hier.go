@@ -1,0 +1,292 @@
+// Package hier implements hierarchical interconnect analysis in the
+// spirit of Beattie et al. (ICCAD 2000), the §4 technique that
+// "separates the electrical interaction into local and global
+// interaction": unknowns are partitioned into blocks, each block's
+// internal nodes are eliminated exactly by Schur complement onto the
+// global (boundary) nodes, the small global system is solved, and the
+// internal solutions are recovered by back-substitution.
+//
+// For the resistive systems power-grid IR-drop analysis runs on, this
+// is exact — and it is the standard way production tools make
+// full-chip grid analysis tractable.
+package hier
+
+import (
+	"fmt"
+
+	"inductance101/internal/matrix"
+)
+
+// Partition assigns each unknown to a block or to the global boundary.
+type Partition struct {
+	// Blocks[k] lists the internal unknowns of block k.
+	Blocks [][]int
+	// Boundary lists the global unknowns every block may couple to.
+	Boundary []int
+}
+
+// AutoPartition builds a partition from a block assignment: assign[i]
+// is the tentative block of unknown i (use -1 to force an unknown onto
+// the boundary). Any unknown that couples (g[i][j] != 0) to a different
+// block is promoted to the boundary, so the result always satisfies the
+// hierarchical invariant that internals of distinct blocks never couple
+// directly.
+func AutoPartition(g *matrix.Dense, assign []int) Partition {
+	n := g.Rows()
+	if len(assign) != n {
+		panic(fmt.Sprintf("hier: assignment length %d, matrix %d", len(assign), n))
+	}
+	isBoundary := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if assign[i] < 0 {
+			isBoundary[i] = true
+		}
+	}
+	// Promote until stable: one pass suffices because promotion only
+	// depends on the original assignment (boundary nodes absorb all
+	// cross-block coupling).
+	for i := 0; i < n; i++ {
+		if isBoundary[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || g.At(i, j) == 0 {
+				continue
+			}
+			if assign[j] >= 0 && assign[j] != assign[i] {
+				isBoundary[i] = true
+				break
+			}
+		}
+	}
+	maxBlock := -1
+	for _, a := range assign {
+		if a > maxBlock {
+			maxBlock = a
+		}
+	}
+	p := Partition{Blocks: make([][]int, maxBlock+1)}
+	for i := 0; i < n; i++ {
+		if isBoundary[i] {
+			p.Boundary = append(p.Boundary, i)
+		} else {
+			p.Blocks[assign[i]] = append(p.Blocks[assign[i]], i)
+		}
+	}
+	return p
+}
+
+// Validate checks the hierarchical invariant: no direct coupling
+// between internals of different blocks.
+func (p Partition) Validate(g *matrix.Dense) error {
+	blockOf := make(map[int]int)
+	for k, blk := range p.Blocks {
+		for _, i := range blk {
+			if _, dup := blockOf[i]; dup {
+				return fmt.Errorf("hier: unknown %d in two blocks", i)
+			}
+			blockOf[i] = k
+		}
+	}
+	for _, i := range p.Boundary {
+		if _, dup := blockOf[i]; dup {
+			return fmt.Errorf("hier: unknown %d both internal and boundary", i)
+		}
+		blockOf[i] = -1
+	}
+	if len(blockOf) != g.Rows() {
+		return fmt.Errorf("hier: partition covers %d of %d unknowns", len(blockOf), g.Rows())
+	}
+	for i := 0; i < g.Rows(); i++ {
+		bi := blockOf[i]
+		if bi < 0 {
+			continue
+		}
+		for j := 0; j < g.Cols(); j++ {
+			if g.At(i, j) == 0 || i == j {
+				continue
+			}
+			if bj := blockOf[j]; bj >= 0 && bj != bi {
+				return fmt.Errorf("hier: internals %d (block %d) and %d (block %d) couple directly", i, bi, j, bj)
+			}
+		}
+	}
+	return nil
+}
+
+// Solution carries the hierarchical solve result and its cost metrics.
+type Solution struct {
+	X []float64
+	// GlobalSize is the reduced boundary system dimension.
+	GlobalSize int
+	// LargestBlock is the biggest internal block factored.
+	LargestBlock int
+}
+
+// Solve solves g*x = b hierarchically under the partition. It is exact
+// (up to roundoff) for any nonsingular g satisfying the partition
+// invariant.
+func Solve(g *matrix.Dense, b []float64, p Partition) (*Solution, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	n := g.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("hier: rhs length %d, want %d", len(b), n)
+	}
+	nb := len(p.Boundary)
+	bdIndex := make(map[int]int, nb)
+	for k, i := range p.Boundary {
+		bdIndex[i] = k
+	}
+	// Global system accumulates G_bb plus each block's Schur term.
+	gg := matrix.NewDense(nb, nb)
+	for a, ia := range p.Boundary {
+		for c, ic := range p.Boundary {
+			gg.Set(a, c, g.At(ia, ic))
+		}
+	}
+	bg := make([]float64, nb)
+	for a, ia := range p.Boundary {
+		bg[a] = b[ia]
+	}
+
+	sol := &Solution{X: make([]float64, n), GlobalSize: nb}
+	type blockFactor struct {
+		lu    *matrix.LU
+		idx   []int
+		gib   *matrix.Dense // internal x boundary coupling
+		biInt []float64
+	}
+	factors := make([]*blockFactor, 0, len(p.Blocks))
+	for _, blk := range p.Blocks {
+		ni := len(blk)
+		if ni == 0 {
+			factors = append(factors, nil)
+			continue
+		}
+		if ni > sol.LargestBlock {
+			sol.LargestBlock = ni
+		}
+		gii := matrix.NewDense(ni, ni)
+		gib := matrix.NewDense(ni, nb)
+		bi := make([]float64, ni)
+		for a, ia := range blk {
+			bi[a] = b[ia]
+			for c, ic := range blk {
+				gii.Set(a, c, g.At(ia, ic))
+			}
+			for c, ic := range p.Boundary {
+				gib.Set(a, c, g.At(ia, ic))
+			}
+		}
+		lu, err := matrix.FactorLU(gii)
+		if err != nil {
+			return nil, fmt.Errorf("hier: block internal matrix singular (floating internal node?): %w", err)
+		}
+		// Schur: S = -G_bi G_ii^{-1} G_ib ; rhs: -G_bi G_ii^{-1} b_i.
+		x, err := lu.SolveMat(gib) // G_ii^{-1} G_ib
+		if err != nil {
+			return nil, err
+		}
+		y, err := lu.Solve(bi) // G_ii^{-1} b_i
+		if err != nil {
+			return nil, err
+		}
+		// G_bi rows are g[boundary][internal].
+		for a, ia := range p.Boundary {
+			for c, ic := range blk {
+				gbi := g.At(ia, ic)
+				if gbi == 0 {
+					continue
+				}
+				for d := 0; d < nb; d++ {
+					gg.Add(a, d, -gbi*x.At(c, d))
+				}
+				bg[a] -= gbi * y[c]
+			}
+			_ = ia
+		}
+		factors = append(factors, &blockFactor{lu: lu, idx: blk, gib: gib, biInt: bi})
+	}
+
+	xb, err := matrix.SolveDense(gg, bg)
+	if err != nil {
+		return nil, fmt.Errorf("hier: global system singular: %w", err)
+	}
+	for k, i := range p.Boundary {
+		sol.X[i] = xb[k]
+	}
+	// Back-substitute internals: x_i = G_ii^{-1}(b_i - G_ib x_b).
+	for _, f := range factors {
+		if f == nil {
+			continue
+		}
+		rhs := matrix.CloneVec(f.biInt)
+		matrix.Axpy(-1, f.gib.MulVec(xb), rhs)
+		xi, err := f.lu.Solve(rhs)
+		if err != nil {
+			return nil, err
+		}
+		for a, ia := range f.idx {
+			sol.X[ia] = xi[a]
+		}
+	}
+	return sol, nil
+}
+
+// TileAssign produces a block assignment for unknowns laid out on a
+// 2-D grid: coords[i] = (x, y) in metres, tilesX x tilesY tiles over
+// the bounding box. Unknowns without coordinates (nil entry semantics:
+// x = y = NaN not supported; pass force=-1 via the assign slice
+// afterwards) default to tile 0.
+func TileAssign(xs, ys []float64, tilesX, tilesY int) []int {
+	n := len(xs)
+	if len(ys) != n {
+		panic("hier: coordinate length mismatch")
+	}
+	if tilesX < 1 {
+		tilesX = 1
+	}
+	if tilesY < 1 {
+		tilesY = 1
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	spanX := maxX - minX
+	spanY := maxY - minY
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		tx, ty := 0, 0
+		if spanX > 0 {
+			tx = int(float64(tilesX) * (xs[i] - minX) / spanX)
+			if tx >= tilesX {
+				tx = tilesX - 1
+			}
+		}
+		if spanY > 0 {
+			ty = int(float64(tilesY) * (ys[i] - minY) / spanY)
+			if ty >= tilesY {
+				ty = tilesY - 1
+			}
+		}
+		out[i] = ty*tilesX + tx
+	}
+	return out
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

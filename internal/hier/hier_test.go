@@ -1,0 +1,174 @@
+package hier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"inductance101/internal/matrix"
+)
+
+// gridG builds the conductance matrix of an nx x ny resistor mesh with
+// unit conductances and a small ground leak at every node, plus the
+// node coordinates.
+func gridG(nx, ny int) (*matrix.Dense, []float64, []float64) {
+	n := nx * ny
+	g := matrix.NewDense(n, n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	idx := func(x, y int) int { return y*nx + x }
+	stamp := func(a, b int) {
+		g.Add(a, a, 1)
+		g.Add(b, b, 1)
+		g.Add(a, b, -1)
+		g.Add(b, a, -1)
+	}
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := idx(x, y)
+			xs[i], ys[i] = float64(x), float64(y)
+			g.Add(i, i, 0.01) // ground leak keeps it nonsingular
+			if x+1 < nx {
+				stamp(i, idx(x+1, y))
+			}
+			if y+1 < ny {
+				stamp(i, idx(x, y+1))
+			}
+		}
+	}
+	return g, xs, ys
+}
+
+func TestHierMatchesFlatSolve(t *testing.T) {
+	g, xs, ys := gridG(8, 8)
+	assign := TileAssign(xs, ys, 2, 2)
+	p := AutoPartition(g, assign)
+	if len(p.Boundary) == 0 || len(p.Boundary) == g.Rows() {
+		t.Fatalf("degenerate partition: %d boundary of %d", len(p.Boundary), g.Rows())
+	}
+	rng := rand.New(rand.NewSource(5))
+	b := make([]float64, g.Rows())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	flat, err := matrix.SolveDense(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(g, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat {
+		if math.Abs(sol.X[i]-flat[i]) > 1e-9*math.Max(1, math.Abs(flat[i])) {
+			t.Fatalf("x[%d] = %g, flat %g", i, sol.X[i], flat[i])
+		}
+	}
+	if sol.GlobalSize >= g.Rows() {
+		t.Errorf("no reduction: global %d of %d", sol.GlobalSize, g.Rows())
+	}
+	if sol.LargestBlock >= g.Rows() {
+		t.Errorf("block as large as the whole system")
+	}
+}
+
+func TestAutoPartitionInvariant(t *testing.T) {
+	g, xs, ys := gridG(6, 6)
+	for _, tiles := range [][2]int{{2, 2}, {3, 2}, {1, 4}, {6, 6}} {
+		assign := TileAssign(xs, ys, tiles[0], tiles[1])
+		p := AutoPartition(g, assign)
+		if err := p.Validate(g); err != nil {
+			t.Errorf("tiles %v: %v", tiles, err)
+		}
+	}
+}
+
+func TestAutoPartitionForcedBoundary(t *testing.T) {
+	g, xs, ys := gridG(4, 4)
+	assign := TileAssign(xs, ys, 2, 1)
+	assign[5] = -1 // forced
+	p := AutoPartition(g, assign)
+	found := false
+	for _, i := range p.Boundary {
+		if i == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("forced boundary node missing")
+	}
+}
+
+func TestValidateCatchesCrossCoupling(t *testing.T) {
+	g := matrix.NewDenseFrom([][]float64{
+		{2, -1, 0},
+		{-1, 2, -1},
+		{0, -1, 2},
+	})
+	// Blocks {0} and {2} with boundary {1}: valid.
+	ok := Partition{Blocks: [][]int{{0}, {2}}, Boundary: []int{1}}
+	if err := ok.Validate(g); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	// Blocks {0,1} and {2} with no boundary: 1 couples to 2 directly.
+	bad := Partition{Blocks: [][]int{{0, 1}, {2}}}
+	if err := bad.Validate(g); err == nil {
+		t.Errorf("cross-coupled partition accepted")
+	}
+	// Duplicate membership.
+	dup := Partition{Blocks: [][]int{{0, 1}}, Boundary: []int{1, 2}}
+	if err := dup.Validate(g); err == nil {
+		t.Errorf("duplicate membership accepted")
+	}
+	// Incomplete cover.
+	missing := Partition{Blocks: [][]int{{0}}, Boundary: []int{1}}
+	if err := missing.Validate(g); err == nil {
+		t.Errorf("incomplete partition accepted")
+	}
+}
+
+func TestHierProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx := 3 + rng.Intn(5)
+		ny := 3 + rng.Intn(5)
+		g, xs, ys := gridG(nx, ny)
+		assign := TileAssign(xs, ys, 1+rng.Intn(3), 1+rng.Intn(3))
+		p := AutoPartition(g, assign)
+		b := make([]float64, g.Rows())
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		flat, err := matrix.SolveDense(g, b)
+		if err != nil {
+			return false
+		}
+		sol, err := Solve(g, b, p)
+		if err != nil {
+			return false
+		}
+		for i := range flat {
+			if math.Abs(sol.X[i]-flat[i]) > 1e-8*math.Max(1, math.Abs(flat[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTileAssignEdges(t *testing.T) {
+	// Single point: everything tile 0.
+	a := TileAssign([]float64{1, 1}, []float64{2, 2}, 3, 3)
+	if a[0] != 0 || a[1] != 0 {
+		t.Errorf("degenerate span assignment %v", a)
+	}
+	// Clamping at the max edge.
+	a = TileAssign([]float64{0, 10}, []float64{0, 10}, 2, 2)
+	if a[1] != 3 {
+		t.Errorf("max corner tile = %d, want 3", a[1])
+	}
+}

@@ -1,0 +1,162 @@
+// Package layoutio serializes layouts to and from a small JSON schema,
+// so the command-line tools (cmd/inductx, cmd/rlsweep) can work on
+// user-provided geometry instead of only generated topologies.
+//
+// The schema keeps SI units (metres, ohms) and mirrors internal/geom:
+//
+//	{
+//	  "layers": [{"name":"M5","z":4e-6,"thickness":0.9e-6,
+//	              "sheet_rho":0.025,"h_below":1e-6}],
+//	  "segments": [{"layer":0,"dir":"X","x0":0,"y0":0,"length":1e-3,
+//	                "width":2e-6,"net":"clk","node_a":"a","node_b":"b"}],
+//	  "vias": [{"x":0,"y":0,"layer_lo":0,"layer_hi":1,"resistance":0.5,
+//	            "net":"VDD","node_lo":"p","node_hi":"q"}]
+//	}
+package layoutio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"inductance101/internal/geom"
+)
+
+// File is the JSON document root.
+type File struct {
+	Layers   []LayerJSON   `json:"layers"`
+	Segments []SegmentJSON `json:"segments"`
+	Vias     []ViaJSON     `json:"vias,omitempty"`
+}
+
+// LayerJSON mirrors geom.Layer.
+type LayerJSON struct {
+	Name      string  `json:"name"`
+	Z         float64 `json:"z"`
+	Thickness float64 `json:"thickness"`
+	SheetRho  float64 `json:"sheet_rho"`
+	HBelow    float64 `json:"h_below"`
+}
+
+// SegmentJSON mirrors geom.Segment; Dir is "X" or "Y".
+type SegmentJSON struct {
+	Layer  int     `json:"layer"`
+	Dir    string  `json:"dir"`
+	X0     float64 `json:"x0"`
+	Y0     float64 `json:"y0"`
+	Length float64 `json:"length"`
+	Width  float64 `json:"width"`
+	Net    string  `json:"net"`
+	NodeA  string  `json:"node_a"`
+	NodeB  string  `json:"node_b"`
+}
+
+// ViaJSON mirrors geom.Via.
+type ViaJSON struct {
+	X          float64 `json:"x"`
+	Y          float64 `json:"y"`
+	LayerLo    int     `json:"layer_lo"`
+	LayerHi    int     `json:"layer_hi"`
+	Resistance float64 `json:"resistance"`
+	Net        string  `json:"net,omitempty"`
+	NodeLo     string  `json:"node_lo"`
+	NodeHi     string  `json:"node_hi"`
+}
+
+// Read parses a layout document and validates the result.
+func Read(r io.Reader) (*geom.Layout, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("layoutio: %w", err)
+	}
+	return f.ToLayout()
+}
+
+// ToLayout converts the document to a validated layout.
+func (f *File) ToLayout() (*geom.Layout, error) {
+	if len(f.Layers) == 0 {
+		return nil, fmt.Errorf("layoutio: no layers")
+	}
+	layers := make([]geom.Layer, len(f.Layers))
+	for i, l := range f.Layers {
+		if l.Thickness <= 0 || l.SheetRho <= 0 || l.HBelow <= 0 {
+			return nil, fmt.Errorf("layoutio: layer %d (%s) has non-positive thickness/sheet_rho/h_below", i, l.Name)
+		}
+		layers[i] = geom.Layer{
+			Name: l.Name, Index: i, Z: l.Z, Thickness: l.Thickness,
+			SheetRho: l.SheetRho, HBelow: l.HBelow,
+		}
+	}
+	lay := geom.NewLayout(layers)
+	for i, s := range f.Segments {
+		var dir geom.Direction
+		switch s.Dir {
+		case "X", "x":
+			dir = geom.DirX
+		case "Y", "y":
+			dir = geom.DirY
+		default:
+			return nil, fmt.Errorf("layoutio: segment %d has dir %q (want X or Y)", i, s.Dir)
+		}
+		if s.Layer < 0 || s.Layer >= len(layers) {
+			return nil, fmt.Errorf("layoutio: segment %d layer %d out of range", i, s.Layer)
+		}
+		if s.Length <= 0 || s.Width <= 0 {
+			return nil, fmt.Errorf("layoutio: segment %d has non-positive length/width", i)
+		}
+		lay.AddSegment(geom.Segment{
+			Layer: s.Layer, Dir: dir, X0: s.X0, Y0: s.Y0,
+			Length: s.Length, Width: s.Width,
+			Net: s.Net, NodeA: s.NodeA, NodeB: s.NodeB,
+		})
+	}
+	for _, v := range f.Vias {
+		lay.AddVia(geom.Via{
+			X: v.X, Y: v.Y, LayerLo: v.LayerLo, LayerHi: v.LayerHi,
+			Resistance: v.Resistance, Net: v.Net,
+			NodeLo: v.NodeLo, NodeHi: v.NodeHi,
+		})
+	}
+	if err := lay.Validate(); err != nil {
+		return nil, fmt.Errorf("layoutio: %w", err)
+	}
+	return lay, nil
+}
+
+// Write serializes a layout as indented JSON.
+func Write(w io.Writer, lay *geom.Layout) error {
+	f := FromLayout(lay)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// FromLayout converts a layout into the document form.
+func FromLayout(lay *geom.Layout) *File {
+	f := &File{}
+	for _, l := range lay.Layers {
+		f.Layers = append(f.Layers, LayerJSON{
+			Name: l.Name, Z: l.Z, Thickness: l.Thickness,
+			SheetRho: l.SheetRho, HBelow: l.HBelow,
+		})
+	}
+	for i := range lay.Segments {
+		s := &lay.Segments[i]
+		f.Segments = append(f.Segments, SegmentJSON{
+			Layer: s.Layer, Dir: s.Dir.String(), X0: s.X0, Y0: s.Y0,
+			Length: s.Length, Width: s.Width,
+			Net: s.Net, NodeA: s.NodeA, NodeB: s.NodeB,
+		})
+	}
+	for i := range lay.Vias {
+		v := &lay.Vias[i]
+		f.Vias = append(f.Vias, ViaJSON{
+			X: v.X, Y: v.Y, LayerLo: v.LayerLo, LayerHi: v.LayerHi,
+			Resistance: v.Resistance, Net: v.Net,
+			NodeLo: v.NodeLo, NodeHi: v.NodeHi,
+		})
+	}
+	return f
+}

@@ -1,0 +1,91 @@
+package layoutio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"inductance101/internal/geom"
+	"inductance101/internal/grid"
+)
+
+const sampleDoc = `{
+  "layers": [
+    {"name":"M5","z":4e-6,"thickness":0.9e-6,"sheet_rho":0.025,"h_below":1e-6},
+    {"name":"M6","z":6e-6,"thickness":1.2e-6,"sheet_rho":0.018,"h_below":1.1e-6}
+  ],
+  "segments": [
+    {"layer":0,"dir":"X","x0":0,"y0":0,"length":1e-3,"width":2e-6,
+     "net":"clk","node_a":"a","node_b":"b"},
+    {"layer":1,"dir":"Y","x0":0,"y0":0,"length":5e-4,"width":3e-6,
+     "net":"GND","node_a":"g0","node_b":"g1"}
+  ],
+  "vias": [
+    {"x":0,"y":0,"layer_lo":0,"layer_hi":1,"resistance":0.5,
+     "net":"GND","node_lo":"b","node_hi":"g0"}
+  ]
+}`
+
+func TestReadSample(t *testing.T) {
+	lay, err := Read(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lay.Layers) != 2 || len(lay.Segments) != 2 || len(lay.Vias) != 1 {
+		t.Fatalf("counts: %d layers, %d segs, %d vias",
+			len(lay.Layers), len(lay.Segments), len(lay.Vias))
+	}
+	if lay.Segments[0].Dir != geom.DirX || lay.Segments[1].Dir != geom.DirY {
+		t.Errorf("directions wrong")
+	}
+	if lay.Segments[0].Length != 1e-3 {
+		t.Errorf("length = %g", lay.Segments[0].Length)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m, err := grid.BuildPowerGrid(grid.StandardLayers(), grid.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m.Layout); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Segments) != len(m.Layout.Segments) || len(back.Vias) != len(m.Layout.Vias) {
+		t.Fatalf("round trip lost elements")
+	}
+	for i := range back.Segments {
+		a, b := &back.Segments[i], &m.Layout.Segments[i]
+		if *a != *b {
+			t.Fatalf("segment %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`{"layers":[{"name":"M","z":0,"thickness":0,"sheet_rho":1,"h_below":1}]}`,
+		`{"layers":[{"name":"M","z":0,"thickness":1e-6,"sheet_rho":0.1,"h_below":1e-6}],
+		  "segments":[{"layer":0,"dir":"Z","x0":0,"y0":0,"length":1,"width":1,
+		               "net":"n","node_a":"a","node_b":"b"}]}`,
+		`{"layers":[{"name":"M","z":0,"thickness":1e-6,"sheet_rho":0.1,"h_below":1e-6}],
+		  "segments":[{"layer":5,"dir":"X","x0":0,"y0":0,"length":1,"width":1,
+		               "net":"n","node_a":"a","node_b":"b"}]}`,
+		`{"layers":[{"name":"M","z":0,"thickness":1e-6,"sheet_rho":0.1,"h_below":1e-6}],
+		  "segments":[{"layer":0,"dir":"X","x0":0,"y0":0,"length":0,"width":1,
+		               "net":"n","node_a":"a","node_b":"b"}]}`,
+		`{"unknown_field": 1}`,
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted invalid document", i)
+		}
+	}
+}

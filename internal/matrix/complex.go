@@ -1,0 +1,152 @@
+package matrix
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CDense is a dense, row-major complex matrix, used by AC analysis
+// (internal/sim) and frequency-domain extraction (internal/fasthenry).
+type CDense struct {
+	rows, cols int
+	data       []complex128
+}
+
+// NewCDense returns an r x c zero complex matrix.
+func NewCDense(r, c int) *CDense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", r, c))
+	}
+	return &CDense{rows: r, cols: c, data: make([]complex128, r*c)}
+}
+
+// Rows returns the number of rows.
+func (m *CDense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CDense) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *CDense) At(i, j int) complex128 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *CDense) Set(i, j int, v complex128) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to element (i, j).
+func (m *CDense) Add(i, j int, v complex128) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *CDense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *CDense) Clone() *CDense {
+	c := NewCDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Zero clears the matrix.
+func (m *CDense) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// MulVec returns m*x.
+func (m *CDense) MulVec(x []complex128) []complex128 {
+	if m.cols != len(x) {
+		panic("matrix: CDense MulVec dimension mismatch")
+	}
+	y := make([]complex128, m.rows)
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		var s complex128
+		for j, v := range mi {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// SolveComplex solves a*x = b with complex LU and partial pivoting.
+// a is not modified.
+func SolveComplex(a *CDense, b []complex128) ([]complex128, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("matrix: complex solve of non-square %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: complex solve rhs length %d, want %d", len(b), n)
+	}
+	lu := a.Clone()
+	d := lu.data
+	x := make([]complex128, n)
+	copy(x, b)
+	for k := 0; k < n; k++ {
+		p, mx := k, cmplx.Abs(d[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(d[i*n+k]); a > mx {
+				p, mx = i, a
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := k; j < n; j++ {
+				d[k*n+j], d[p*n+j] = d[p*n+j], d[k*n+j]
+			}
+			x[k], x[p] = x[p], x[k]
+		}
+		piv := d[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := d[i*n+k] / piv
+			if f == 0 {
+				continue
+			}
+			d[i*n+k] = f
+			for j := k + 1; j < n; j++ {
+				d[i*n+j] -= f * d[k*n+j]
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= d[i*n+j] * x[j]
+		}
+		x[i] = s / d[i*n+i]
+	}
+	return x, nil
+}
+
+// CFromReal builds a complex matrix re + 1i*im. im may be nil (treated
+// as zero). This is how AC analysis assembles G + jωC system matrices.
+func CFromReal(re, im *Dense) *CDense {
+	if im != nil && (re.rows != im.rows || re.cols != im.cols) {
+		panic("matrix: CFromReal dimension mismatch")
+	}
+	m := NewCDense(re.rows, re.cols)
+	for i := range re.data {
+		if im != nil {
+			m.data[i] = complex(re.data[i], im.data[i])
+		} else {
+			m.data[i] = complex(re.data[i], 0)
+		}
+	}
+	return m
+}

@@ -1,0 +1,208 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization encounters an (effectively)
+// singular matrix.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// LU holds an LU factorization with partial pivoting: P*A = L*U where L
+// is unit lower triangular and U upper triangular, packed into a single
+// matrix.
+type LU struct {
+	lu   *Dense
+	piv  []int // row i of the factor came from row piv[i] of A
+	sign int   // determinant sign from row swaps
+}
+
+// FactorLU computes the LU factorization with partial pivoting of the
+// square matrix a. a is not modified.
+func FactorLU(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("matrix: LU of non-square %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	d := lu.data
+	for k := 0; k < n; k++ {
+		// Pivot: largest |d[i][k]| for i >= k.
+		p, mx := k, math.Abs(d[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(d[i*n+k]); a > mx {
+				p, mx = i, a
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				d[k*n+j], d[p*n+j] = d[p*n+j], d[k*n+j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := d[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := d[i*n+k] / pivVal
+			d[i*n+k] = f
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				d[i*n+j] -= f * d[k*n+j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A*x = b for one right-hand side. b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: LU solve rhs length %d, want %d", len(b), n)
+	}
+	x := make([]float64, n)
+	d := f.lu.data
+	// Apply permutation, then forward substitution with unit L.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= d[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= d[i*n+j] * x[j]
+		}
+		u := d[i*n+i]
+		if u == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / u
+	}
+	return x, nil
+}
+
+// SolveMat solves A*X = B column by column.
+func (f *LU) SolveMat(b *Dense) (*Dense, error) {
+	n := f.lu.rows
+	if b.rows != n {
+		return nil, fmt.Errorf("matrix: LU SolveMat rhs rows %d, want %d", b.rows, n)
+	}
+	x := NewDense(n, b.cols)
+	col := make([]float64, n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		sol, err := f.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			x.data[i*b.cols+j] = sol[i]
+		}
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	det := float64(f.sign)
+	for i := 0; i < n; i++ {
+		det *= f.lu.data[i*n+i]
+	}
+	return det
+}
+
+// Inverse returns A^-1 computed from the factorization.
+func (f *LU) Inverse() (*Dense, error) {
+	return f.SolveMat(Identity(f.lu.rows))
+}
+
+// SolveDense is a convenience wrapper: factor a and solve a*x = b.
+func SolveDense(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse is a convenience wrapper returning a^-1.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse()
+}
+
+// ConditionEstimate returns a cheap lower-bound estimate of the 1-norm
+// condition number of a, via ||A||_1 * ||A^-1 e||_inf probing with a few
+// right-hand sides. It is used by tests and diagnostics, not by solvers.
+func ConditionEstimate(a *Dense) float64 {
+	f, err := FactorLU(a)
+	if err != nil {
+		return math.Inf(1)
+	}
+	n := a.rows
+	norm1 := 0.0
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += math.Abs(a.data[i*n+j])
+		}
+		if s > norm1 {
+			norm1 = s
+		}
+	}
+	// Probe with ones and alternating-sign vectors.
+	worst := 0.0
+	for _, mk := range []func(i int) float64{
+		func(int) float64 { return 1 },
+		func(i int) float64 {
+			if i%2 == 0 {
+				return 1
+			}
+			return -1
+		},
+	} {
+		b := make([]float64, n)
+		bn := 0.0
+		for i := range b {
+			b[i] = mk(i)
+			bn = math.Max(bn, math.Abs(b[i]))
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			return math.Inf(1)
+		}
+		xn := 0.0
+		for _, v := range x {
+			xn = math.Max(xn, math.Abs(v))
+		}
+		if bn > 0 {
+			worst = math.Max(worst, xn/bn)
+		}
+	}
+	return norm1 * worst
+}

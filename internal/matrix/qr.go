@@ -1,0 +1,111 @@
+package matrix
+
+import "math"
+
+// Orthonormalization for PRIMA's block Arnoldi process (internal/mor).
+// Modified Gram-Schmidt with one re-orthogonalization pass, which is the
+// standard cure for loss of orthogonality in Krylov methods.
+
+// OrthonormalizeColumns orthonormalizes the columns of a against the
+// columns of basis (which must already be orthonormal, may be nil) and
+// against each other, returning the surviving columns as a new matrix.
+// Columns whose norm after projection falls below dropTol times their
+// original norm are deflated (dropped). The returned matrix may have
+// fewer columns than a; with zero surviving columns it has zero columns.
+func OrthonormalizeColumns(a, basis *Dense, dropTol float64) *Dense {
+	n := a.rows
+	if basis != nil && basis.rows != n {
+		panic("matrix: basis row mismatch")
+	}
+	var kept [][]float64
+	projectAll := func(v []float64) {
+		if basis != nil {
+			for j := 0; j < basis.cols; j++ {
+				s := 0.0
+				for i := 0; i < n; i++ {
+					s += basis.data[i*basis.cols+j] * v[i]
+				}
+				for i := 0; i < n; i++ {
+					v[i] -= s * basis.data[i*basis.cols+j]
+				}
+			}
+		}
+		for _, q := range kept {
+			s := Dot(q, v)
+			Axpy(-s, q, v)
+		}
+	}
+	for c := 0; c < a.cols; c++ {
+		v := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v[i] = a.data[i*a.cols+c]
+		}
+		orig := Norm2(v)
+		if orig == 0 {
+			continue
+		}
+		projectAll(v)
+		projectAll(v) // re-orthogonalize
+		nv := Norm2(v)
+		if nv <= dropTol*orig || nv == 0 || math.IsNaN(nv) {
+			continue
+		}
+		ScaleVec(1/nv, v)
+		kept = append(kept, v)
+	}
+	out := NewDense(n, len(kept))
+	for j, q := range kept {
+		for i := 0; i < n; i++ {
+			out.data[i*out.cols+j] = q[i]
+		}
+	}
+	return out
+}
+
+// AppendColumns returns [a | b] (horizontal concatenation). Either may
+// have zero columns.
+func AppendColumns(a, b *Dense) *Dense {
+	if a == nil || a.cols == 0 {
+		if b == nil {
+			return NewDense(0, 0)
+		}
+		return b.Clone()
+	}
+	if b == nil || b.cols == 0 {
+		return a.Clone()
+	}
+	if a.rows != b.rows {
+		panic("matrix: AppendColumns row mismatch")
+	}
+	out := NewDense(a.rows, a.cols+b.cols)
+	for i := 0; i < a.rows; i++ {
+		copy(out.data[i*out.cols:], a.Row(i))
+		copy(out.data[i*out.cols+a.cols:], b.Row(i))
+	}
+	return out
+}
+
+// LeastSquares solves min ||a*x - b||_2 for a with rows >= cols via the
+// normal equations with Cholesky (adequate for the small, well-scaled
+// fitting problems in internal/loopmodel). Returns the coefficient
+// vector of length a.Cols().
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	if a.rows != len(b) {
+		panic("matrix: LeastSquares dimension mismatch")
+	}
+	at := a.T()
+	ata := at.Mul(a)
+	atb := at.MulVec(b)
+	ch, err := FactorCholesky(ata)
+	if err != nil {
+		// Fall back to LU with a tiny Tikhonov ridge for rank-deficient
+		// fits.
+		n := ata.rows
+		ridge := ata.MaxAbs() * 1e-12
+		for i := 0; i < n; i++ {
+			ata.data[i*n+i] += ridge
+		}
+		return SolveDense(ata, atb)
+	}
+	return ch.Solve(atb)
+}

@@ -1,0 +1,310 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparse matrices for the large power-grid flows. Assembly happens in a
+// coordinate (triplet) builder; solves run on an immutable CSR form.
+
+// Triplet accumulates (i, j, v) entries with duplicate summation, the
+// natural target for MNA stamping of large grids.
+type Triplet struct {
+	rows, cols int
+	entries    map[[2]int]float64
+}
+
+// NewTriplet returns an empty r x c builder.
+func NewTriplet(r, c int) *Triplet {
+	return &Triplet{rows: r, cols: c, entries: make(map[[2]int]float64)}
+}
+
+// Rows returns the number of rows.
+func (t *Triplet) Rows() int { return t.rows }
+
+// Cols returns the number of columns.
+func (t *Triplet) Cols() int { return t.cols }
+
+// Add accumulates v at (i, j).
+func (t *Triplet) Add(i, j int, v float64) {
+	if i < 0 || i >= t.rows || j < 0 || j >= t.cols {
+		panic(fmt.Sprintf("matrix: triplet index (%d,%d) out of range %dx%d", i, j, t.rows, t.cols))
+	}
+	if v == 0 {
+		return
+	}
+	t.entries[[2]int{i, j}] += v
+}
+
+// NNZ returns the number of stored entries.
+func (t *Triplet) NNZ() int { return len(t.entries) }
+
+// ToCSR freezes the builder into compressed sparse row form.
+func (t *Triplet) ToCSR() *CSR {
+	type ent struct {
+		i, j int
+		v    float64
+	}
+	es := make([]ent, 0, len(t.entries))
+	for k, v := range t.entries {
+		if v != 0 {
+			es = append(es, ent{k[0], k[1], v})
+		}
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].i != es[b].i {
+			return es[a].i < es[b].i
+		}
+		return es[a].j < es[b].j
+	})
+	m := &CSR{
+		rows:   t.rows,
+		cols:   t.cols,
+		rowPtr: make([]int, t.rows+1),
+		colIdx: make([]int, len(es)),
+		val:    make([]float64, len(es)),
+	}
+	for n, e := range es {
+		m.rowPtr[e.i+1]++
+		m.colIdx[n] = e.j
+		m.val[n] = e.v
+	}
+	for i := 0; i < t.rows; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	return m
+}
+
+// ToDense materializes the builder as a dense matrix (tests, small cases).
+func (t *Triplet) ToDense() *Dense {
+	d := NewDense(t.rows, t.cols)
+	for k, v := range t.entries {
+		d.Add(k[0], k[1], v)
+	}
+	return d
+}
+
+// CSR is an immutable compressed-sparse-row matrix.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	val        []float64
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.val) }
+
+// MulVec returns m*x.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic("matrix: CSR MulVec dimension mismatch")
+	}
+	y := make([]float64, m.rows)
+	m.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo writes m*x into y (must have length m.Rows()).
+func (m *CSR) MulVecTo(y, x []float64) {
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			s += m.val[p] * x[m.colIdx[p]]
+		}
+		y[i] = s
+	}
+}
+
+// Diag returns the diagonal as a slice (zeros where absent).
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			if m.colIdx[p] == i {
+				d[i] = m.val[p]
+			}
+		}
+	}
+	return d
+}
+
+// ToDense materializes the CSR matrix densely.
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			d.Set(i, m.colIdx[p], m.val[p])
+		}
+	}
+	return d
+}
+
+// CGOptions configures the conjugate-gradient solver.
+type CGOptions struct {
+	Tol     float64 // relative residual target; default 1e-10
+	MaxIter int     // default 10*n
+}
+
+// SolveCG solves a*x = b for symmetric positive definite a using
+// Jacobi-preconditioned conjugate gradients. Power/ground grid
+// conductance systems are SPD, which is why the paper's combined
+// technique can use Cholesky; CG is the iterative analogue used here for
+// the large sparse path.
+func (m *CSR) SolveCG(b []float64, opt CGOptions) ([]float64, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: CG needs a square matrix, got %dx%d", m.rows, m.cols)
+	}
+	n := m.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: CG rhs length %d, want %d", len(b), n)
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10*n + 50
+	}
+	diag := m.Diag()
+	invD := make([]float64, n)
+	for i, d := range diag {
+		if d <= 0 {
+			return nil, fmt.Errorf("matrix: CG diagonal %d = %g not positive", i, d)
+		}
+		invD[i] = 1 / d
+	}
+	x := make([]float64, n)
+	r := CloneVec(b)
+	bn := Norm2(b)
+	if bn == 0 {
+		return x, nil
+	}
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = invD[i] * r[i]
+	}
+	p := CloneVec(z)
+	rz := Dot(r, z)
+	ap := make([]float64, n)
+	for it := 0; it < opt.MaxIter; it++ {
+		m.MulVecTo(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return nil, fmt.Errorf("matrix: CG breakdown, p'Ap = %g (matrix not SPD?)", pap)
+		}
+		alpha := rz / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		if Norm2(r) <= opt.Tol*bn {
+			return x, nil
+		}
+		for i := range z {
+			z[i] = invD[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return nil, fmt.Errorf("matrix: CG did not converge in %d iterations (residual %g)",
+		opt.MaxIter, Norm2(r)/bn)
+}
+
+// SolveBiCGStab solves a*x = b for general (nonsymmetric) a using
+// Jacobi-preconditioned BiCGStab. Used for sparse MNA systems that
+// include inductor branch rows and are therefore not SPD.
+func (m *CSR) SolveBiCGStab(b []float64, opt CGOptions) ([]float64, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: BiCGStab needs a square matrix, got %dx%d", m.rows, m.cols)
+	}
+	n := m.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: BiCGStab rhs length %d, want %d", len(b), n)
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 20*n + 100
+	}
+	diag := m.Diag()
+	invD := make([]float64, n)
+	for i, d := range diag {
+		if d == 0 {
+			invD[i] = 1
+		} else {
+			invD[i] = 1 / d
+		}
+	}
+	prec := func(v []float64) []float64 {
+		out := make([]float64, n)
+		for i := range v {
+			out[i] = invD[i] * v[i]
+		}
+		return out
+	}
+	x := make([]float64, n)
+	r := CloneVec(b)
+	bn := Norm2(b)
+	if bn == 0 {
+		return x, nil
+	}
+	rHat := CloneVec(r)
+	var rho, alpha, omega float64 = 1, 1, 1
+	v := make([]float64, n)
+	p := make([]float64, n)
+	t := make([]float64, n)
+	for it := 0; it < opt.MaxIter; it++ {
+		rhoNew := Dot(rHat, r)
+		if math.Abs(rhoNew) < 1e-300 {
+			return nil, fmt.Errorf("matrix: BiCGStab breakdown (rho=0)")
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		ph := prec(p)
+		m.MulVecTo(v, ph)
+		denom := Dot(rHat, v)
+		if math.Abs(denom) < 1e-300 {
+			return nil, fmt.Errorf("matrix: BiCGStab breakdown (rHat'v=0)")
+		}
+		alpha = rho / denom
+		s := CloneVec(r)
+		Axpy(-alpha, v, s)
+		if Norm2(s) <= opt.Tol*bn {
+			Axpy(alpha, ph, x)
+			return x, nil
+		}
+		sh := prec(s)
+		m.MulVecTo(t, sh)
+		tt := Dot(t, t)
+		if tt == 0 {
+			return nil, fmt.Errorf("matrix: BiCGStab breakdown (t=0)")
+		}
+		omega = Dot(t, s) / tt
+		Axpy(alpha, ph, x)
+		Axpy(omega, sh, x)
+		r = s
+		Axpy(-omega, t, r)
+		if Norm2(r) <= opt.Tol*bn {
+			return x, nil
+		}
+		if omega == 0 {
+			return nil, fmt.Errorf("matrix: BiCGStab breakdown (omega=0)")
+		}
+	}
+	return nil, fmt.Errorf("matrix: BiCGStab did not converge in %d iterations (residual %g)",
+		opt.MaxIter, Norm2(r)/bn)
+}

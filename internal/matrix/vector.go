@@ -1,0 +1,82 @@
+package matrix
+
+import "math"
+
+// Vector helpers. These operate on plain []float64 so the simulator and
+// reducers can use ordinary slices as state vectors.
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("matrix: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of a.
+func Norm2(a []float64) float64 {
+	return math.Sqrt(Dot(a, a))
+}
+
+// NormInf returns the max-abs norm of a.
+func NormInf(a []float64) float64 {
+	m := 0.0
+	for _, v := range a {
+		if x := math.Abs(v); x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("matrix: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// ScaleVec multiplies x by s in place.
+func ScaleVec(s float64, x []float64) {
+	for i := range x {
+		x[i] *= s
+	}
+}
+
+// Sub returns a-b as a new slice.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("matrix: Sub length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// AddVec returns a+b as a new slice.
+func AddVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("matrix: AddVec length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// CloneVec returns a copy of x.
+func CloneVec(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}

@@ -1,0 +1,88 @@
+// Package pkgmodel implements the paper's pad/package parasitic model:
+// external power and ground reach the chip through package leads and
+// pads, whose inductance significantly affects on-chip behaviour. The
+// package planes themselves are assumed ideal (the voltage difference
+// across them is a few mV, the paper's own assumption); each supply
+// connection is modeled as a bar inductance plus lead and via
+// resistance.
+package pkgmodel
+
+import (
+	"fmt"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/extract"
+)
+
+// Connection is one pad-plus-lead supply connection.
+type Connection struct {
+	// LeadR and LeadL are the package lead parasitics.
+	LeadR float64
+	LeadL float64
+	// PadR is the pad plus pad-via resistance.
+	PadR float64
+}
+
+// WireBond returns typical wire-bond package parasitics: a few nH of
+// lead inductance — the reason Ldi/dt noise dominates wire-bonded parts.
+func WireBond() Connection {
+	return Connection{LeadR: 0.05, LeadL: 3e-9, PadR: 0.02}
+}
+
+// FlipChip returns typical flip-chip (C4) parasitics: an order of
+// magnitude less inductance than wire bond.
+func FlipChip() Connection {
+	return Connection{LeadR: 0.01, LeadL: 0.15e-9, PadR: 0.005}
+}
+
+// BarConnection models the lead as a rectangular bar of the given
+// dimensions (the paper: "the package is modeled as a bar, including the
+// pad and a via between the pad and package"), computing its inductance
+// from the PEEC self-inductance formula.
+func BarConnection(length, width, thickness, leadR, padR float64) Connection {
+	return Connection{
+		LeadR: leadR,
+		LeadL: extract.SelfInductanceBar(length, width, thickness),
+		PadR:  padR,
+	}
+}
+
+// Stamp adds the connection between the external (ideal) supply node and
+// the on-chip pad node: external --R_lead--L_lead--R_pad-- pad.
+// Returns the inductor index for current probing.
+func (c Connection) Stamp(n *circuit.Netlist, prefix, external, pad string) (int, error) {
+	if c.LeadR <= 0 || c.PadR <= 0 || c.LeadL < 0 {
+		return 0, fmt.Errorf("pkgmodel: non-physical connection %+v", c)
+	}
+	m1 := prefix + ".m1"
+	m2 := prefix + ".m2"
+	n.AddR(prefix+".rlead", external, m1, c.LeadR)
+	li := n.AddL(prefix+".llead", m1, m2, c.LeadL)
+	n.AddR(prefix+".rpad", m2, pad, c.PadR)
+	return li, nil
+}
+
+// Supply describes a chip supply brought in over several parallel
+// pad/lead connections (more pads = lower effective package impedance,
+// a first-order design lever for di/dt noise).
+type Supply struct {
+	Conn  Connection
+	NPads int
+}
+
+// EffectiveL returns the parallel combination of the pad inductances.
+func (s Supply) EffectiveL() float64 {
+	if s.NPads <= 0 {
+		return 0
+	}
+	return s.Conn.LeadL / float64(s.NPads)
+}
+
+// EffectiveR returns the parallel combination of the lead+pad
+// resistances.
+func (s Supply) EffectiveR() float64 {
+	if s.NPads <= 0 {
+		return 0
+	}
+	return (s.Conn.LeadR + s.Conn.PadR) / float64(s.NPads)
+}

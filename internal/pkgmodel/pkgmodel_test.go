@@ -1,0 +1,66 @@
+package pkgmodel
+
+import (
+	"math"
+	"testing"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/sim"
+)
+
+func TestPresets(t *testing.T) {
+	wb, fc := WireBond(), FlipChip()
+	if wb.LeadL <= fc.LeadL {
+		t.Errorf("wire bond must have more inductance than flip chip")
+	}
+	if fc.LeadL <= 0 || fc.LeadR <= 0 || fc.PadR <= 0 {
+		t.Errorf("flip chip preset non-physical: %+v", fc)
+	}
+}
+
+func TestBarConnection(t *testing.T) {
+	c := BarConnection(2e-3, 100e-6, 30e-6, 0.05, 0.02)
+	// A 2mm bar is in the nH range.
+	if c.LeadL < 0.5e-9 || c.LeadL > 5e-9 {
+		t.Errorf("bar inductance = %g, expected ~1-2nH", c.LeadL)
+	}
+}
+
+func TestStampImpedance(t *testing.T) {
+	c := Connection{LeadR: 0.1, LeadL: 2e-9, PadR: 0.05}
+	n := circuit.New()
+	vi := n.AddV("v", "ext", "0", circuit.DC(0))
+	if _, err := c.Stamp(n, "pkg", "ext", "0"); err != nil {
+		t.Fatal(err)
+	}
+	f := 1e9
+	z, err := sim.InputImpedance(n, vi, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR := 0.15
+	wantX := 2 * math.Pi * f * 2e-9
+	if math.Abs(real(z)-wantR)/wantR > 1e-6 || math.Abs(imag(z)-wantX)/wantX > 1e-6 {
+		t.Errorf("stamped package Z = %v, want %g + j%g", z, wantR, wantX)
+	}
+}
+
+func TestStampValidation(t *testing.T) {
+	n := circuit.New()
+	if _, err := (Connection{LeadR: 0, LeadL: 1e-9, PadR: 0.1}).Stamp(n, "p", "a", "b"); err == nil {
+		t.Errorf("zero lead R accepted")
+	}
+}
+
+func TestSupplyParallelism(t *testing.T) {
+	s := Supply{Conn: WireBond(), NPads: 8}
+	if math.Abs(s.EffectiveL()-WireBond().LeadL/8) > 1e-18 {
+		t.Errorf("EffectiveL = %g", s.EffectiveL())
+	}
+	if s.EffectiveR() <= 0 {
+		t.Errorf("EffectiveR = %g", s.EffectiveR())
+	}
+	if (Supply{}).EffectiveL() != 0 || (Supply{}).EffectiveR() != 0 {
+		t.Errorf("zero-pad supply should be 0")
+	}
+}

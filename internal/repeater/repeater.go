@@ -1,0 +1,147 @@
+// Package repeater analyzes repeater insertion on long RLC lines —
+// after Ismail & Friedman ("Effects of Inductance on the Propagation
+// Delay and Repeater Insertion in VLSI Circuits", cited alongside the
+// paper's design-technique references). The RC-era rule inserts many
+// repeaters to linearize quadratic wire delay; inductance makes long
+// unrepeated segments faster than RC analysis predicts (time-of-flight
+// scaling), so the optimal repeater count DROPS once L is modeled —
+// RC-based repeater methodology over-inserts on inductive lines.
+//
+// The analysis follows the standard per-stage method: a line of total
+// length split by k repeaters gives k+1 identical stages; each stage is
+// simulated once (driver resistance, wire segment, next repeater's
+// input capacitance) and the stage delays add, plus the repeaters'
+// intrinsic delays.
+package repeater
+
+import (
+	"fmt"
+	"math"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/sim"
+	"inductance101/internal/tline"
+)
+
+// Driver models a repeater stage electrically.
+type Driver struct {
+	// R is the repeater output resistance; Cin its input capacitance;
+	// TIntrinsic its unloaded gate delay.
+	R, Cin     float64
+	TIntrinsic float64
+	// Vdd and TRise shape the stage stimulus.
+	Vdd, TRise float64
+}
+
+// DefaultDriver is a strong 2001-era repeater.
+func DefaultDriver() Driver {
+	return Driver{R: 40, Cin: 30e-15, TIntrinsic: 15e-12, Vdd: 1.8, TRise: 40e-12}
+}
+
+// StageResult is the outcome at one repeater count.
+type StageResult struct {
+	Repeaters  int
+	StageDelay float64 // one segment's 50% delay
+	TotalDelay float64 // (k+1) stages + k intrinsic delays
+	Overshoot  float64 // per-stage overshoot (signal-integrity hazard)
+}
+
+// Result is a full sweep with its optimum.
+type Result struct {
+	Points    []StageResult
+	BestK     int
+	BestDelay float64
+}
+
+// Sweep evaluates repeater counts 0..maxK on a line of the given total
+// length, with (withL=true) or without wire inductance.
+func Sweep(p tline.LineParams, length float64, drv Driver, maxK int, withL bool) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if length <= 0 || maxK < 0 {
+		return nil, fmt.Errorf("repeater: bad length %g or maxK %d", length, maxK)
+	}
+	if drv.R <= 0 || drv.Cin < 0 || drv.Vdd <= 0 || drv.TRise <= 0 {
+		return nil, fmt.Errorf("repeater: bad driver %+v", drv)
+	}
+	res := &Result{BestDelay: math.Inf(1)}
+	for k := 0; k <= maxK; k++ {
+		segLen := length / float64(k+1)
+		d, ov, err := stageDelay(p, segLen, drv, withL)
+		if err != nil {
+			return nil, fmt.Errorf("repeater: k=%d: %w", k, err)
+		}
+		total := float64(k+1)*d + float64(k)*drv.TIntrinsic
+		pt := StageResult{Repeaters: k, StageDelay: d, TotalDelay: total, Overshoot: ov}
+		res.Points = append(res.Points, pt)
+		if total < res.BestDelay {
+			res.BestDelay = total
+			res.BestK = k
+		}
+	}
+	return res, nil
+}
+
+// stageDelay simulates one repeater stage: driver R, nSec lumped wire
+// sections, and the next stage's input capacitance as load.
+func stageDelay(p tline.LineParams, segLen float64, drv Driver, withL bool) (delay, overshoot float64, err error) {
+	const nSec = 6
+	n := circuit.New()
+	t0 := 2 * drv.TRise
+	n.AddV("v", "src", circuit.Ground, circuit.Pulse{
+		V1: 0, V2: drv.Vdd, Delay: t0, Rise: drv.TRise, Width: 1, Fall: drv.TRise,
+	})
+	n.AddR("rdrv", "src", "n0", drv.R)
+	dl := segLen / nSec
+	for s := 0; s < nSec; s++ {
+		a := fmt.Sprintf("n%d", s)
+		mid := fmt.Sprintf("m%d", s)
+		b := fmt.Sprintf("n%d", s+1)
+		n.AddR(fmt.Sprintf("rw%d", s), a, mid, p.R*dl)
+		if withL {
+			n.AddL(fmt.Sprintf("lw%d", s), mid, b, p.L*dl)
+		} else {
+			n.AddR(fmt.Sprintf("ls%d", s), mid, b, 1e-9)
+		}
+		n.AddC(fmt.Sprintf("cw%d", s), b, circuit.Ground, p.C*dl)
+	}
+	out := fmt.Sprintf("n%d", nSec)
+	if drv.Cin > 0 {
+		n.AddC("cin", out, circuit.Ground, drv.Cin)
+	}
+	// Window: edge + generous settling.
+	tau := drv.R*(p.C*segLen+drv.Cin) + p.R*segLen*p.C*segLen/2
+	tof := p.FlightTime(segLen)
+	tStop := t0 + drv.TRise + 12*math.Max(tau, tof) + 6*drv.TRise
+	tStep := math.Min(drv.TRise/15, tStop/3000)
+	res, err := sim.Tran(n, sim.TranOptions{TStop: tStop, TStep: tStep})
+	if err != nil {
+		return 0, 0, err
+	}
+	v := res.MustV(out)
+	cross, err := sim.CrossTime(res.Times, v, drv.Vdd/2, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	return cross - (t0 + drv.TRise/2), sim.Overshoot(v, drv.Vdd), nil
+}
+
+// Compare runs the RC and RLC sweeps side by side — the Ismail-Friedman
+// experiment in one call.
+type Comparison struct {
+	RC, RLC *Result
+}
+
+// Compare sweeps both models.
+func Compare(p tline.LineParams, length float64, drv Driver, maxK int) (*Comparison, error) {
+	rc, err := Sweep(p, length, drv, maxK, false)
+	if err != nil {
+		return nil, err
+	}
+	rlc, err := Sweep(p, length, drv, maxK, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{RC: rc, RLC: rlc}, nil
+}

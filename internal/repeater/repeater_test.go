@@ -1,0 +1,98 @@
+package repeater
+
+import (
+	"testing"
+
+	"inductance101/internal/tline"
+)
+
+// globalLine is a long wire in the regime where repeaters pay off:
+// resistive enough that unrepeated wire delay is quadratic-dominant,
+// inductive enough that L matters per stage.
+func globalLine(t *testing.T) tline.LineParams {
+	t.Helper()
+	p, err := tline.FromGeometry(1.5e-6, 1.2e-6, 1.1e-6, 0.018, 8e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// testDriver is a strong repeater matched to the test wire.
+func testDriver() Driver {
+	return Driver{R: 15, Cin: 20e-15, TIntrinsic: 8e-12, Vdd: 1.8, TRise: 40e-12}
+}
+
+func TestSweepShape(t *testing.T) {
+	p := globalLine(t)
+	res, err := Sweep(p, 14e-3, testDriver(), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 11 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.StageDelay <= 0 || pt.TotalDelay <= 0 {
+			t.Errorf("k=%d: non-positive delays %+v", pt.Repeaters, pt)
+		}
+	}
+	// On a long RC line, several repeaters beat none (quadratic wire
+	// delay); the curve is U-shaped with an interior optimum.
+	if res.BestK < 2 {
+		t.Errorf("RC optimum k=%d — repeaters should help a 14mm line", res.BestK)
+	}
+	// And the optimum beats both extremes.
+	if res.BestDelay >= res.Points[0].TotalDelay {
+		t.Errorf("optimum %g not below unrepeated %g", res.BestDelay, res.Points[0].TotalDelay)
+	}
+}
+
+func TestInductanceReducesOptimalRepeaterCount(t *testing.T) {
+	// The Ismail-Friedman result: k_opt(RLC) <= k_opt(RC), because
+	// time-of-flight scaling makes long segments cheaper than RC
+	// analysis predicts.
+	p := globalLine(t)
+	cmp, err := Compare(p, 14e-3, testDriver(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.RLC.BestK > cmp.RC.BestK {
+		t.Errorf("RLC optimum %d repeaters above RC optimum %d", cmp.RLC.BestK, cmp.RC.BestK)
+	}
+	// At the RC-chosen k the RLC delay differs from the RC prediction:
+	// the mis-planning an RC-only methodology commits.
+	rcAtK := cmp.RC.Points[cmp.RC.BestK].TotalDelay
+	rlcAtK := cmp.RLC.Points[cmp.RC.BestK].TotalDelay
+	if rlcAtK == rcAtK {
+		t.Errorf("inductance changed nothing at k=%d", cmp.RC.BestK)
+	}
+	// Inductance slows the optimum and rings per stage: segmenting an
+	// inductive line makes each (faster-edged) stage ring harder — a
+	// signal-integrity tension RC planning never sees.
+	if cmp.RLC.BestDelay <= cmp.RC.BestDelay {
+		t.Errorf("RLC optimum %g not above RC optimum %g", cmp.RLC.BestDelay, cmp.RC.BestDelay)
+	}
+	if cmp.RLC.Points[cmp.RLC.BestK].Overshoot < 0.05 {
+		t.Errorf("no per-stage ringing at the RLC optimum")
+	}
+	if cmp.RC.Points[cmp.RC.BestK].Overshoot > 1e-3 {
+		t.Errorf("RC stage shows overshoot %g", cmp.RC.Points[cmp.RC.BestK].Overshoot)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	p := globalLine(t)
+	if _, err := Sweep(tline.LineParams{}, 1e-3, DefaultDriver(), 4, true); err == nil {
+		t.Errorf("bad params accepted")
+	}
+	if _, err := Sweep(p, 0, DefaultDriver(), 4, true); err == nil {
+		t.Errorf("zero length accepted")
+	}
+	if _, err := Sweep(p, 1e-3, Driver{}, 4, true); err == nil {
+		t.Errorf("empty driver accepted")
+	}
+	if _, err := Sweep(p, 1e-3, DefaultDriver(), -1, true); err == nil {
+		t.Errorf("negative maxK accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/matrix"
+)
+
+// ACStimulus names the sources to excite in an AC analysis with unit
+// (or given) complex amplitudes. Sources not listed are zeroed (voltage
+// sources become shorts, current sources opens), the standard AC
+// small-signal convention.
+type ACStimulus struct {
+	VSourceAmps map[int]complex128 // VSource index -> amplitude
+	ISourceAmps map[int]complex128 // ISource index -> amplitude
+}
+
+// AC solves the complex MNA system (G + jωC) X = B at angular frequency
+// omega and returns the full complex state vector.
+func AC(m *circuit.MNA, omega float64, stim ACStimulus) ([]complex128, error) {
+	if len(m.N.MOSFETs) != 0 {
+		return nil, fmt.Errorf("sim: AC analysis of nonlinear netlists is not supported (linearize first)")
+	}
+	size := m.Size()
+	a := matrix.NewCDense(size, size)
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			g := m.G.At(i, j)
+			c := m.C.At(i, j)
+			if g != 0 || c != 0 {
+				a.Set(i, j, complex(g, omega*c))
+			}
+		}
+	}
+	// gmin for floating nodes.
+	for i := 0; i < m.N.NumNodes(); i++ {
+		a.Add(i, i, 1e-12)
+	}
+	b := make([]complex128, size)
+	nn := m.N.NumNodes()
+	for vi, amp := range stim.VSourceAmps {
+		b[nn+m.N.VSources[vi].Branch] += amp
+	}
+	for ii, amp := range stim.ISourceAmps {
+		s := m.N.ISources[ii]
+		if s.A >= 0 {
+			b[s.A] -= amp
+		}
+		if s.B >= 0 {
+			b[s.B] += amp
+		}
+	}
+	return matrix.SolveComplex(a, b)
+}
+
+// ACPoint is one row of a frequency sweep.
+type ACPoint struct {
+	Freq float64
+	V    complex128
+}
+
+// ACSweep runs AC at logarithmically spaced frequencies from fStart to
+// fStop (inclusive, pointsPerDecade per decade) and records the complex
+// voltage of the probe node.
+func ACSweep(n *circuit.Netlist, probe string, stim ACStimulus, fStart, fStop float64, pointsPerDecade int) ([]ACPoint, error) {
+	if fStart <= 0 || fStop <= fStart {
+		return nil, fmt.Errorf("sim: bad AC sweep range [%g, %g]", fStart, fStop)
+	}
+	if pointsPerDecade <= 0 {
+		pointsPerDecade = 10
+	}
+	idx, err := n.NodeIndex(probe)
+	if err != nil {
+		return nil, err
+	}
+	m := circuit.Build(n)
+	var out []ACPoint
+	decades := math.Log10(fStop / fStart)
+	nPts := int(decades*float64(pointsPerDecade)) + 1
+	for k := 0; k <= nPts; k++ {
+		f := fStart * math.Pow(10, decades*float64(k)/float64(nPts))
+		x, err := AC(m, 2*math.Pi*f, stim)
+		if err != nil {
+			return nil, fmt.Errorf("sim: AC at %g Hz: %w", f, err)
+		}
+		v := complex(0, 0)
+		if idx >= 0 {
+			v = x[idx]
+		}
+		out = append(out, ACPoint{Freq: f, V: v})
+	}
+	return out, nil
+}
+
+// InputImpedance computes Z_in(f) = V/I seen by voltage source vi: the
+// source is driven with 1V and Z = 1 / (-I_branch) (branch current flows
+// A->B inside the source, so the current delivered to the circuit is
+// -I_branch).
+func InputImpedance(n *circuit.Netlist, vi int, freq float64) (complex128, error) {
+	m := circuit.Build(n)
+	x, err := AC(m, 2*math.Pi*freq, ACStimulus{VSourceAmps: map[int]complex128{vi: 1}})
+	if err != nil {
+		return 0, err
+	}
+	i := x[n.BranchOfVSource(vi)]
+	if cmplx.Abs(i) == 0 {
+		return cmplx.Inf(), nil
+	}
+	return 1 / -i, nil
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"inductance101/internal/circuit"
+)
+
+func ringCircuit() *circuit.Netlist {
+	n := circuit.New()
+	n.AddV("v", "in", "0", circuit.Pulse{V1: 0, V2: 1, Delay: 0.2e-9, Rise: 20e-12, Width: 1, Fall: 20e-12})
+	n.AddR("r", "in", "m", 3)
+	n.AddL("l", "m", "out", 1.5e-9)
+	n.AddC("c", "out", "0", 0.4e-12)
+	n.AddR("rl", "out", "0", 2000)
+	return n
+}
+
+func TestAdaptiveMatchesFineFixedStep(t *testing.T) {
+	ref, err := Tran(ringCircuit(), TranOptions{TStop: 5e-9, TStep: 0.25e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := TranAdaptive(ringCircuit(), AdaptiveOptions{TStop: 5e-9, Tol: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Interp(ad, "out", ref.Times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.MustV("out")
+	worst := 0.0
+	for i := range want {
+		worst = math.Max(worst, math.Abs(got[i]-want[i]))
+	}
+	if worst > 5e-3 {
+		t.Errorf("adaptive deviates from fine reference by %g", worst)
+	}
+	if ad.Steps == nil || ad.Steps.Accepted == 0 {
+		t.Fatalf("missing step stats")
+	}
+	// The point of adaptivity: far fewer points than the fine grid.
+	if len(ad.Times) >= len(ref.Times)/4 {
+		t.Errorf("adaptive used %d points vs %d fixed — no saving", len(ad.Times), len(ref.Times))
+	}
+}
+
+func TestAdaptiveStepGrowsInQuietTail(t *testing.T) {
+	// After the ring settles the controller should reach HMax.
+	ad, err := TranAdaptive(ringCircuit(), AdaptiveOptions{TStop: 30e-9, Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(ad.Times)
+	lastStep := ad.Times[n-1] - ad.Times[n-2]
+	firstSteps := ad.Times[5] - ad.Times[4]
+	if lastStep <= firstSteps {
+		t.Errorf("step did not grow in the tail: first %g, last %g", firstSteps, lastStep)
+	}
+}
+
+func TestAdaptiveTighterTolIsMoreAccurate(t *testing.T) {
+	ref, err := Tran(ringCircuit(), TranOptions{TStop: 3e-9, TStep: 0.25e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.MustV("out")
+	errAt := func(tol float64) float64 {
+		ad, err := TranAdaptive(ringCircuit(), AdaptiveOptions{TStop: 3e-9, Tol: tol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Interp(ad, "out", ref.Times)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for i := range want {
+			worst = math.Max(worst, math.Abs(got[i]-want[i]))
+		}
+		return worst
+	}
+	loose := errAt(3e-3)
+	tight := errAt(1e-5)
+	if tight >= loose {
+		t.Errorf("tightening tol did not reduce error: %g vs %g", tight, loose)
+	}
+}
+
+func TestAdaptiveNonlinear(t *testing.T) {
+	n := circuit.New()
+	n.AddV("vdd", "vdd", "0", circuit.DC(1.8))
+	n.AddV("vin", "in", "0", circuit.Pulse{V1: 0, V2: 1.8, Delay: 0.2e-9, Rise: 50e-12, Width: 2e-9, Fall: 50e-12})
+	n.AddInverter("inv", "in", "out", "vdd", "0",
+		circuit.TypicalNMOS(4), circuit.TypicalPMOS(4), 2e-15, 4e-15)
+	n.AddC("cl", "out", "0", 20e-15)
+	ad, err := TranAdaptive(n, AdaptiveOptions{TStop: 2e-9, Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ad.MustV("out")
+	if v[0] < 1.7 {
+		t.Errorf("initial output %g", v[0])
+	}
+	if v[len(v)-1] > 0.1 {
+		t.Errorf("final output %g, inverter did not switch", v[len(v)-1])
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	if _, err := TranAdaptive(ringCircuit(), AdaptiveOptions{TStop: 0}); err == nil {
+		t.Errorf("zero TStop accepted")
+	}
+}
+
+func TestInterpEdges(t *testing.T) {
+	r := &TranResult{
+		Netlist: circuit.New(),
+		Times:   []float64{0, 1, 2},
+	}
+	r.Netlist.Node("a")
+	r.States = [][]float64{{0}, {10}, {20}}
+	got, err := Interp(r, "a", []float64{-1, 0.5, 1.5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 5, 15, 20}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Interp[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/matrix"
+)
+
+// stampDevices linearizes every MOSFET around state x and stamps the
+// Jacobian into a (a copy of the base conductance matrix) and the
+// Norton equivalent currents into rhs.
+func stampDevices(n *circuit.Netlist, x []float64, a *matrix.Dense, rhs []float64) {
+	vAt := func(node int) float64 {
+		if node < 0 {
+			return 0
+		}
+		return x[node]
+	}
+	add := func(i, j int, v float64) {
+		if i >= 0 && j >= 0 {
+			a.Add(i, j, v)
+		}
+	}
+	addB := func(i int, v float64) {
+		if i >= 0 {
+			rhs[i] += v
+		}
+	}
+	for i := range n.MOSFETs {
+		m := &n.MOSFETs[i]
+		vd, vg, vs := vAt(m.D), vAt(m.G), vAt(m.S)
+		id, gm, gds := m.Eval(vd, vg, vs)
+		// Linearization: id ≈ Ieq + gm*vgs + gds*vds.
+		ieq := id - gm*(vg-vs) - gds*(vd-vs)
+		add(m.D, m.D, gds)
+		add(m.D, m.G, gm)
+		add(m.D, m.S, -(gm + gds))
+		add(m.S, m.D, -gds)
+		add(m.S, m.G, -gm)
+		add(m.S, m.S, gm+gds)
+		// Current id leaves node D and enters node S.
+		addB(m.D, -ieq)
+		addB(m.S, ieq)
+	}
+}
+
+// deviceCurrents accumulates the nonlinear device injection vector f(x)
+// into b (the right-hand-side convention of C x' + G x = b + f).
+func deviceCurrents(n *circuit.Netlist, x []float64, b []float64) {
+	vAt := func(node int) float64 {
+		if node < 0 {
+			return 0
+		}
+		return x[node]
+	}
+	for i := range n.MOSFETs {
+		m := &n.MOSFETs[i]
+		id, _, _ := m.Eval(vAt(m.D), vAt(m.G), vAt(m.S))
+		if m.D >= 0 {
+			b[m.D] -= id
+		}
+		if m.S >= 0 {
+			b[m.S] += id
+		}
+	}
+}
+
+// OP computes the DC operating point at time t0: capacitors open,
+// inductors short, sources at their t0 values. Newton iteration handles
+// the MOSFETs; gmin keeps floating nodes bounded.
+func OP(m *circuit.MNA, t0 float64, opt TranOptions) ([]float64, error) {
+	if opt.MaxNewton <= 0 {
+		opt.MaxNewton = 100
+	}
+	if opt.NewtonTol <= 0 {
+		opt.NewtonTol = 1e-9
+	}
+	if opt.Gmin <= 0 {
+		opt.Gmin = 1e-12
+	}
+	n := m.N
+	size := m.Size()
+	base := applyGmin(m.G, n.NumNodes(), opt.Gmin)
+	b0 := make([]float64, size)
+	m.RHS(t0, b0)
+
+	x := make([]float64, size)
+	if len(n.MOSFETs) == 0 {
+		sol, err := matrix.SolveDense(base, b0)
+		if err != nil {
+			return nil, fmt.Errorf("sim: singular DC system: %w", err)
+		}
+		return sol, nil
+	}
+	for it := 0; it < opt.MaxNewton; it++ {
+		a := base.Clone()
+		rhs := matrix.CloneVec(b0)
+		stampDevices(n, x, a, rhs)
+		xNew, err := matrix.SolveDense(a, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: singular Newton system at iteration %d: %w", it, err)
+		}
+		// Damped update: limit per-iteration voltage change to 1V to
+		// keep the quadratic model honest far from the solution.
+		const maxStep = 1.0
+		worst := 0.0
+		for i := range x {
+			d := xNew[i] - x[i]
+			if d > maxStep {
+				d = maxStep
+			} else if d < -maxStep {
+				d = -maxStep
+			}
+			x[i] += d
+			if ad := abs(d); ad > worst {
+				worst = ad
+			}
+		}
+		if worst < opt.NewtonTol {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("sim: DC operating point did not converge in %d iterations", opt.MaxNewton)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,129 @@
+// Package sim is the SPICE-lite circuit simulator: DC operating point
+// (Newton-Raphson over the level-1 MOSFET models), transient analysis
+// (trapezoidal or backward-Euler companion integration on the MNA
+// system), and AC analysis (complex MNA solve per frequency).
+//
+// It plays the role MCSPICE plays in the paper's experiments: the
+// reference engine the PEEC, sparsified-PEEC, reduced-order and loop
+// models are all simulated with.
+package sim
+
+import (
+	"fmt"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/matrix"
+)
+
+// Method selects the transient integration scheme.
+type Method int
+
+// Integration methods. Trapezoidal is second-order and non-dissipative
+// (it preserves the ringing the paper attributes to inductance);
+// backward Euler is first-order and numerically damped, useful to
+// separate physical from numerical oscillation.
+const (
+	Trapezoidal Method = iota
+	BackwardEuler
+)
+
+// TranOptions configures a transient run.
+type TranOptions struct {
+	TStop  float64 // end time (s)
+	TStep  float64 // fixed time step (s)
+	Method Method
+	// MaxNewton bounds Newton iterations per step (default 50).
+	MaxNewton int
+	// NewtonTol is the infinity-norm convergence tolerance on the state
+	// update (default 1e-9, i.e. nanovolt/nanoamp).
+	NewtonTol float64
+	// Gmin is a tiny conductance from every node to ground that keeps
+	// the system nonsingular when nodes float at DC (default 1e-12 S).
+	Gmin float64
+	// SaveEvery keeps every k-th point (default 1 = all).
+	SaveEvery int
+}
+
+func (o *TranOptions) setDefaults() error {
+	if o.TStop <= 0 || o.TStep <= 0 {
+		return fmt.Errorf("sim: TStop and TStep must be positive (got %g, %g)", o.TStop, o.TStep)
+	}
+	if o.MaxNewton <= 0 {
+		o.MaxNewton = 50
+	}
+	if o.NewtonTol <= 0 {
+		o.NewtonTol = 1e-9
+	}
+	if o.Gmin <= 0 {
+		o.Gmin = 1e-12
+	}
+	if o.SaveEvery <= 0 {
+		o.SaveEvery = 1
+	}
+	return nil
+}
+
+// TranResult holds a transient waveform set: the state vector at each
+// saved time point, with probe helpers keyed by node name.
+type TranResult struct {
+	Netlist *circuit.Netlist
+	Times   []float64
+	States  [][]float64 // States[k][unknown]
+	// NewtonIters counts total Newton iterations, a cost metric.
+	NewtonIters int
+	// Steps holds adaptive-stepping counters (nil for fixed-step runs).
+	Steps *StepStats
+}
+
+// V returns the voltage waveform of a named node.
+func (r *TranResult) V(node string) ([]float64, error) {
+	idx, err := r.Netlist.NodeIndex(node)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(r.Times))
+	if idx >= 0 {
+		for k, x := range r.States {
+			out[k] = x[idx]
+		}
+	}
+	return out, nil
+}
+
+// MustV is V but panics on unknown nodes (for tests and examples).
+func (r *TranResult) MustV(node string) []float64 {
+	v, err := r.V(node)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// IL returns the current waveform of inductor li (index from AddL).
+func (r *TranResult) IL(li int) []float64 {
+	idx := r.Netlist.BranchOfInductor(li)
+	out := make([]float64, len(r.Times))
+	for k, x := range r.States {
+		out[k] = x[idx]
+	}
+	return out
+}
+
+// IV returns the branch current waveform of voltage source vi.
+func (r *TranResult) IV(vi int) []float64 {
+	idx := r.Netlist.BranchOfVSource(vi)
+	out := make([]float64, len(r.Times))
+	for k, x := range r.States {
+		out[k] = x[idx]
+	}
+	return out
+}
+
+// applyGmin adds gmin from every node to ground on a copy of g.
+func applyGmin(g *matrix.Dense, nodes int, gmin float64) *matrix.Dense {
+	out := g.Clone()
+	for i := 0; i < nodes; i++ {
+		out.Add(i, i, gmin)
+	}
+	return out
+}

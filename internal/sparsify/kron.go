@@ -1,0 +1,76 @@
+package sparsify
+
+import (
+	"fmt"
+
+	"inductance101/internal/matrix"
+)
+
+// KronReduce eliminates the non-kept unknowns of a symmetric system
+// matrix by Schur complement: given the partition
+//
+//	[ A_kk  A_ke ] [x_k]   [b_k]
+//	[ A_ek  A_ee ] [x_e] = [0  ]
+//
+// the reduced matrix is A_kk - A_ke A_ee^{-1} A_ek. This is the
+// "hierarchical interconnect model" mechanism of Beattie et al. (ICCAD
+// 2000): internal (local) nodes are folded away exactly, leaving a
+// model over the global nodes only.
+//
+// keep lists the row/column indices to retain, in the order they should
+// appear in the reduced matrix.
+func KronReduce(a *matrix.Dense, keep []int) (*matrix.Dense, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("sparsify: KronReduce needs square matrix")
+	}
+	inKeep := make(map[int]bool, len(keep))
+	for _, k := range keep {
+		if k < 0 || k >= n {
+			return nil, fmt.Errorf("sparsify: keep index %d out of range", k)
+		}
+		if inKeep[k] {
+			return nil, fmt.Errorf("sparsify: duplicate keep index %d", k)
+		}
+		inKeep[k] = true
+	}
+	var elim []int
+	for i := 0; i < n; i++ {
+		if !inKeep[i] {
+			elim = append(elim, i)
+		}
+	}
+	nk, ne := len(keep), len(elim)
+	akk := matrix.NewDense(nk, nk)
+	ake := matrix.NewDense(nk, ne)
+	aek := matrix.NewDense(ne, nk)
+	aee := matrix.NewDense(ne, ne)
+	for i, ki := range keep {
+		for j, kj := range keep {
+			akk.Set(i, j, a.At(ki, kj))
+		}
+		for j, ej := range elim {
+			ake.Set(i, j, a.At(ki, ej))
+		}
+	}
+	for i, ei := range elim {
+		for j, kj := range keep {
+			aek.Set(i, j, a.At(ei, kj))
+		}
+		for j, ej := range elim {
+			aee.Set(i, j, a.At(ei, ej))
+		}
+	}
+	if ne == 0 {
+		return akk, nil
+	}
+	lu, err := matrix.FactorLU(aee)
+	if err != nil {
+		return nil, fmt.Errorf("sparsify: internal block singular (floating internal nodes?): %w", err)
+	}
+	x, err := lu.SolveMat(aek) // x = A_ee^{-1} A_ek
+	if err != nil {
+		return nil, err
+	}
+	return akk.AddScaled(-1, ake.Mul(x)), nil
+}

@@ -1,0 +1,185 @@
+// Package units provides the physical constants and unit helpers used
+// throughout the inductance-analysis library.
+//
+// All quantities in this repository are SI unless a name says otherwise:
+// lengths in metres, resistance in ohms, inductance in henries,
+// capacitance in farads, frequency in hertz, time in seconds.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Physical constants (SI).
+const (
+	// Mu0 is the permeability of free space, H/m.
+	Mu0 = 4e-7 * math.Pi
+	// Eps0 is the permittivity of free space, F/m.
+	Eps0 = 8.8541878128e-12
+	// EpsSiO2 is the relative permittivity of silicon dioxide, the
+	// inter-layer dielectric assumed by the Chern-style capacitance
+	// models in internal/extract.
+	EpsSiO2 = 3.9
+	// RhoCu is the resistivity of copper interconnect at 25C, ohm*m.
+	// On-chip copper is slightly worse than bulk due to barriers and
+	// grain scattering; 2.2e-8 is a typical 2001-era value.
+	RhoCu = 2.2e-8
+	// RhoAl is the resistivity of aluminum interconnect, ohm*m.
+	RhoAl = 3.3e-8
+)
+
+// Convenience multipliers for readable literals, e.g. 3*units.Millimetre.
+const (
+	Metre      = 1.0
+	Millimetre = 1e-3
+	Micrometre = 1e-6
+	Nanometre  = 1e-9
+
+	Second     = 1.0
+	Nanosecond = 1e-9
+	Picosecond = 1e-12
+
+	Henry     = 1.0
+	Nanohenry = 1e-9
+	Picohenry = 1e-12
+
+	Farad      = 1.0
+	Picofarad  = 1e-12
+	Femtofarad = 1e-15
+
+	Hertz     = 1.0
+	Kilohertz = 1e3
+	Megahertz = 1e6
+	Gigahertz = 1e9
+)
+
+// SkinDepth returns the skin depth in metres for a conductor of
+// resistivity rho (ohm*m) at frequency f (Hz). It is the depth at which
+// current density falls to 1/e of its surface value and controls how
+// finely internal/fasthenry must discretize conductor cross-sections.
+func SkinDepth(rho, f float64) float64 {
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(rho / (math.Pi * f * Mu0))
+}
+
+// siPrefixes maps metric prefixes to multipliers, for FormatSI/ParseSI.
+var siPrefixes = []struct {
+	mult   float64
+	symbol string
+}{
+	{1e12, "T"},
+	{1e9, "G"},
+	{1e6, "M"},
+	{1e3, "k"},
+	{1, ""},
+	{1e-3, "m"},
+	{1e-6, "u"},
+	{1e-9, "n"},
+	{1e-12, "p"},
+	{1e-15, "f"},
+	{1e-18, "a"},
+}
+
+// FormatSI renders v with an SI prefix and the given unit symbol, e.g.
+// FormatSI(2.2e-9, "H") == "2.2nH". Zero renders without a prefix.
+func FormatSI(v float64, unit string) string {
+	if v == 0 {
+		return "0" + unit
+	}
+	av := math.Abs(v)
+	for _, p := range siPrefixes {
+		if av >= p.mult {
+			return trimFloat(v/p.mult) + p.symbol + unit
+		}
+	}
+	last := siPrefixes[len(siPrefixes)-1]
+	return trimFloat(v/last.mult) + last.symbol + unit
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', 4, 64)
+	return s
+}
+
+// ParseSI parses strings like "2.2nH", "15 ohm", "1.5G" into an SI value.
+// The unit suffix, if present, is returned alongside the value. Prefix
+// matching is case-sensitive for the ambiguous m/M pair.
+func ParseSI(s string) (value float64, unit string, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, "", fmt.Errorf("units: empty string")
+	}
+	// Split the leading numeric part.
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if (c >= '0' && c <= '9') || c == '.' || c == '+' || c == '-' ||
+			c == 'e' || c == 'E' {
+			// Accept e/E only when followed by a digit or sign, so that
+			// a bare unit like "eV" is not swallowed.
+			if c == 'e' || c == 'E' {
+				if i+1 >= len(s) {
+					break
+				}
+				n := s[i+1]
+				if !(n >= '0' && n <= '9') && n != '+' && n != '-' {
+					break
+				}
+			}
+			i++
+			continue
+		}
+		break
+	}
+	if i == 0 {
+		return 0, "", fmt.Errorf("units: no number in %q", s)
+	}
+	v, err := strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("units: bad number in %q: %v", s, err)
+	}
+	rest := strings.TrimSpace(s[i:])
+	if rest == "" {
+		return v, "", nil
+	}
+	for _, p := range siPrefixes {
+		if p.symbol == "" {
+			continue
+		}
+		if strings.HasPrefix(rest, p.symbol) {
+			// Treat a bare trailing prefix ("1.5k") or prefix+unit
+			// ("2.2nH") as scaled; but a string like "mil" must not
+			// parse as milli+"il" for known unit words.
+			u := rest[len(p.symbol):]
+			return v * p.mult, u, nil
+		}
+	}
+	return v, rest, nil
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ApproxEqual reports whether a and b agree to within rel relative
+// tolerance (or abs absolute tolerance for values near zero).
+func ApproxEqual(a, b, rel, abs float64) bool {
+	d := math.Abs(a - b)
+	if d <= abs {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rel*m
+}

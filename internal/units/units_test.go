@@ -1,0 +1,120 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	if got, want := Mu0, 1.2566370614359173e-6; math.Abs(got-want) > 1e-18 {
+		t.Errorf("Mu0 = %g, want %g", got, want)
+	}
+	// c = 1/sqrt(mu0 eps0) must be the speed of light to ~1e-3 relative
+	// (Eps0 here is the CODATA value; Mu0 the pre-2019 exact value).
+	c := 1 / math.Sqrt(Mu0*Eps0)
+	if !ApproxEqual(c, 2.99792458e8, 1e-6, 0) {
+		t.Errorf("1/sqrt(mu0 eps0) = %g, want c", c)
+	}
+}
+
+func TestSkinDepth(t *testing.T) {
+	// Copper at 1 GHz: ~2.36 um with rho=2.2e-8.
+	d := SkinDepth(RhoCu, 1e9)
+	if !ApproxEqual(d, 2.36e-6, 0.02, 0) {
+		t.Errorf("skin depth = %g, want ~2.36um", d)
+	}
+	if !math.IsInf(SkinDepth(RhoCu, 0), 1) {
+		t.Errorf("skin depth at DC should be +Inf")
+	}
+	// Skin depth decreases as 1/sqrt(f).
+	d1, d4 := SkinDepth(RhoCu, 1e9), SkinDepth(RhoCu, 4e9)
+	if !ApproxEqual(d1/d4, 2, 1e-12, 0) {
+		t.Errorf("skin depth ratio = %g, want 2", d1/d4)
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{2.2e-9, "H", "2.2nH"},
+		{0, "F", "0F"},
+		{1.5e3, "Hz", "1.5kHz"},
+		{-3e-12, "F", "-3pF"},
+		{1, "ohm", "1ohm"},
+		{1e10, "Hz", "10GHz"},
+	}
+	for _, c := range cases {
+		if got := FormatSI(c.v, c.unit); got != c.want {
+			t.Errorf("FormatSI(%g,%q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestParseSI(t *testing.T) {
+	cases := []struct {
+		in    string
+		value float64
+		unit  string
+	}{
+		{"2.2nH", 2.2e-9, "H"},
+		{"15 ohm", 15, "ohm"},
+		{"1.5G", 1.5e9, ""},
+		{"-3pF", -3e-12, "F"},
+		{"1e-9H", 1e-9, "H"},
+		{"100", 100, ""},
+	}
+	for _, c := range cases {
+		v, u, err := ParseSI(c.in)
+		if err != nil {
+			t.Fatalf("ParseSI(%q): %v", c.in, err)
+		}
+		if !ApproxEqual(v, c.value, 1e-12, 0) || u != c.unit {
+			t.Errorf("ParseSI(%q) = %g,%q want %g,%q", c.in, v, u, c.value, c.unit)
+		}
+	}
+	if _, _, err := ParseSI(""); err == nil {
+		t.Errorf("ParseSI(\"\") should error")
+	}
+	if _, _, err := ParseSI("abc"); err == nil {
+		t.Errorf("ParseSI(\"abc\") should error")
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	f := func(mant float64, exp int8) bool {
+		e := int(exp)%12 - 6 // exponent in [-6, 5]
+		v := (1 + math.Abs(math.Mod(mant, 8.9))) * math.Pow10(e*3)
+		s := FormatSI(v, "H")
+		got, unit, err := ParseSI(s)
+		if err != nil || unit != "H" {
+			return false
+		}
+		// FormatSI prints 4 significant digits.
+		return ApproxEqual(got, v, 1e-3, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Errorf("Clamp broken")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-13, 1e-12, 0) {
+		t.Errorf("should be equal within rel tol")
+	}
+	if ApproxEqual(1.0, 1.1, 1e-3, 0) {
+		t.Errorf("should not be equal")
+	}
+	if !ApproxEqual(0, 1e-15, 0, 1e-12) {
+		t.Errorf("abs tolerance near zero")
+	}
+}

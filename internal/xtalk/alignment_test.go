@@ -1,0 +1,64 @@
+package xtalk
+
+import (
+	"testing"
+)
+
+func TestWorstAlignmentBeatsMidpoint(t *testing.T) {
+	spec := fastSpec()
+	windows := []Window{
+		{Lo: 1e-10, Hi: 4e-10},
+		{Lo: 1e-10, Hi: 4e-10},
+	}
+	mid := []float64{2.5e-10, 2.5e-10}
+	base, err := noiseAt(spec, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WorstAlignment(spec, windows, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Noise < base-1e-12 {
+		t.Errorf("search (%g) worse than its own starting point (%g)", res.Noise, base)
+	}
+	if res.Evals < 3 {
+		t.Errorf("suspiciously few evaluations: %d", res.Evals)
+	}
+	// Times must respect the windows.
+	for i, tm := range res.Times {
+		if tm < windows[i].Lo-1e-15 || tm > windows[i].Hi+1e-15 {
+			t.Errorf("aggressor %d time %g outside window %+v", i, tm, windows[i])
+		}
+	}
+}
+
+func TestWorstAlignmentOverlappingWindowsAlign(t *testing.T) {
+	// With fully overlapping windows the worst case is (near-)
+	// simultaneous switching: the found alignment must be at least as
+	// bad as any single-aggressor run.
+	spec := fastSpec()
+	w := Window{Lo: 2e-10, Hi: 2e-10} // degenerate: forced simultaneous
+	forced, err := WorstAlignment(spec, []Window{w, w}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := noiseAt(spec, []float64{2e-10, 10e-9}) // second far away
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Noise <= solo {
+		t.Errorf("simultaneous aggressors (%g) not worse than staggered-away (%g)",
+			forced.Noise, solo)
+	}
+}
+
+func TestWorstAlignmentValidation(t *testing.T) {
+	spec := fastSpec()
+	if _, err := WorstAlignment(spec, []Window{{0, 1e-10}}, 3, 1); err == nil {
+		t.Errorf("window count mismatch accepted")
+	}
+	if _, err := WorstAlignment(spec, []Window{{2e-10, 1e-10}, {0, 1e-10}}, 3, 1); err == nil {
+		t.Errorf("inverted window accepted")
+	}
+}

@@ -1,0 +1,289 @@
+// Package xtalk analyzes capacitive + inductive crosstalk on parallel
+// buses — the "aggravation of signal crosstalk" the paper's
+// introduction lists among the inductance effects, and the noise that
+// §7's shielding/ordering techniques exist to control.
+//
+// A bus is generated as geometry, extracted with the full PEEC flow
+// (coupling capacitance between adjacent lines, mutual inductance
+// between all parallel segments) and simulated in three stimulus
+// configurations: quiet victim under switching aggressors (glitch
+// noise), lone victim switching (nominal delay), and victim switching
+// against opposing aggressors (worst-case delay push-out from the
+// Miller effect plus inductive coupling).
+package xtalk
+
+import (
+	"fmt"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/extract"
+	"inductance101/internal/geom"
+	"inductance101/internal/grid"
+	"inductance101/internal/sim"
+)
+
+// BusSpec describes the coupled bus under analysis.
+type BusSpec struct {
+	// NWires parallel wires; the victim is the centre one.
+	NWires int
+	Length float64
+	Width  float64
+	// Spacing is the edge-to-edge gap between adjacent wires.
+	Spacing float64
+	// Shields inserts grounded shield wires between every pair.
+	Shields bool
+	// Sections splits each wire for distributed accuracy (default 4).
+	Sections int
+
+	// Drive and load.
+	Vdd     float64
+	TRise   float64
+	DriverR float64
+	LoadC   float64
+}
+
+// DefaultBusSpec is a five-wire global bus at minimum spacing.
+func DefaultBusSpec() BusSpec {
+	return BusSpec{
+		NWires: 5, Length: 2e-3, Width: 1e-6, Spacing: 1e-6,
+		Sections: 4,
+		Vdd:      1.8, TRise: 60e-12, DriverR: 40, LoadC: 40e-15,
+	}
+}
+
+// Result carries the crosstalk metrics.
+//
+// Which aggressor pattern is worst depends on the coupling regime — the
+// central insight of RLC (as opposed to RC) crosstalk analysis: in a
+// capacitance-dominated bus, opposing transitions are worst (Miller
+// effect doubles the coupling charge); in an inductance-dominated bus,
+// same-direction transitions are worst (aiding return currents raise
+// the effective loop inductance). Both delays are reported.
+type Result struct {
+	// PeakNoise is the worst glitch on the quiet victim (V).
+	PeakNoise float64
+	// DelayNominal is the victim's 50% delay switching alone.
+	DelayNominal float64
+	// DelayOpposing is the delay with all aggressors switching against
+	// the victim; DelaySame with all aggressors switching along.
+	DelayOpposing float64
+	DelaySame     float64
+	// PushOut is the worst-pattern delay increase over nominal
+	// (non-negative; zero when every pattern helps).
+	PushOut float64
+	// InductanceDominated reports which pattern was worse.
+	InductanceDominated bool
+	// Elements counts the stamped coupled netlist size.
+	Elements circuit.Stats
+	Mutuals  int
+}
+
+// DeltaWorst is the largest absolute delay deviation any aggressor
+// pattern causes — the timing-window uncertainty crosstalk induces.
+func (r *Result) DeltaWorst() float64 {
+	d1 := abs(r.DelayOpposing - r.DelayNominal)
+	d2 := abs(r.DelaySame - r.DelayNominal)
+	if d1 > d2 {
+		return d1
+	}
+	return d2
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// victimIndex returns the centre wire.
+func (s BusSpec) victimIndex() int { return s.NWires / 2 }
+
+// buildLayout generates the bus geometry (with shields interleaved when
+// requested) and returns the layout plus each signal wire's node chain
+// endpoints.
+func buildLayout(spec BusSpec) (*geom.Layout, [][2]string, error) {
+	if spec.NWires < 2 || spec.NWires%2 == 0 {
+		return nil, nil, fmt.Errorf("xtalk: NWires must be odd and >= 3, got %d", spec.NWires)
+	}
+	if spec.Sections <= 0 {
+		spec.Sections = 4
+	}
+	lay := geom.NewLayout([]geom.Layer{
+		{Name: "M6", Z: 6e-6, Thickness: 1.2e-6, SheetRho: 0.018, HBelow: 1.1e-6},
+	})
+	pitch := spec.Width + spec.Spacing
+	if spec.Shields {
+		pitch = 2 * (spec.Width + spec.Spacing) // room for a shield between
+	}
+	segLen := spec.Length / float64(spec.Sections)
+	ends := make([][2]string, spec.NWires)
+	for w := 0; w < spec.NWires; w++ {
+		y := float64(w) * pitch
+		prev := fmt.Sprintf("w%d_n0", w)
+		ends[w][0] = prev
+		for k := 0; k < spec.Sections; k++ {
+			next := fmt.Sprintf("w%d_n%d", w, k+1)
+			lay.AddSegment(geom.Segment{
+				Layer: 0, Dir: geom.DirX, X0: float64(k) * segLen, Y0: y,
+				Length: segLen, Width: spec.Width,
+				Net: fmt.Sprintf("w%d", w), NodeA: prev, NodeB: next,
+			})
+			prev = next
+		}
+		ends[w][1] = prev
+		if spec.Shields && w < spec.NWires-1 {
+			sy := y + pitch/2
+			sprev := fmt.Sprintf("sh%d_n0", w)
+			for k := 0; k < spec.Sections; k++ {
+				snext := fmt.Sprintf("sh%d_n%d", w, k+1)
+				lay.AddSegment(geom.Segment{
+					Layer: 0, Dir: geom.DirX, X0: float64(k) * segLen, Y0: sy,
+					Length: segLen, Width: spec.Width,
+					Net: "GND", NodeA: sprev, NodeB: snext,
+				})
+				sprev = snext
+			}
+		}
+	}
+	return lay, ends, nil
+}
+
+// stimulus describes what each wire does in one simulation run.
+type stimulus int
+
+const (
+	quiet stimulus = iota
+	rising
+	falling
+)
+
+// simulateBus runs one stimulus configuration and returns the victim's
+// far-end waveform with its time base.
+func simulateBus(spec BusSpec, stim func(wire int) stimulus) (times, victim []float64, st circuit.Stats, mutuals int, err error) {
+	lay, ends, err := buildLayout(spec)
+	if err != nil {
+		return nil, nil, st, 0, err
+	}
+	par := defaultExtract(lay)
+	p, err := grid.BuildPEECNetlist(lay, par, grid.PEECOptions{Mode: grid.ModeRLC})
+	if err != nil {
+		return nil, nil, st, 0, err
+	}
+	n := p.Netlist
+	st = n.Stats()
+	mutuals = p.MutualCount
+	// Ground the shield chains at both ends.
+	if spec.Shields {
+		for w := 0; w < spec.NWires-1; w++ {
+			n.AddR(fmt.Sprintf("shg0_%d", w), fmt.Sprintf("sh%d_n0", w), circuit.Ground, 0.1)
+			n.AddR(fmt.Sprintf("shg1_%d", w), fmt.Sprintf("sh%d_n%d", w, spec.Sections), circuit.Ground, 0.1)
+		}
+	}
+	delay := 2 * spec.TRise
+	for w := 0; w < spec.NWires; w++ {
+		var wave circuit.Waveform
+		switch stim(w) {
+		case quiet:
+			wave = circuit.DC(0)
+		case rising:
+			wave = circuit.Pulse{V1: 0, V2: spec.Vdd, Delay: delay, Rise: spec.TRise, Width: 1, Fall: spec.TRise}
+		case falling:
+			wave = circuit.Pulse{V1: spec.Vdd, V2: 0, Delay: delay, Rise: spec.TRise, Width: 1, Fall: spec.TRise}
+		}
+		src := fmt.Sprintf("src%d", w)
+		n.AddV("v"+src, src, circuit.Ground, wave)
+		n.AddR("r"+src, src, ends[w][0], spec.DriverR)
+		n.AddC(fmt.Sprintf("cl%d", w), ends[w][1], circuit.Ground, spec.LoadC)
+	}
+	tStop := delay + 30*spec.TRise
+	res, err := sim.Tran(n, sim.TranOptions{TStop: tStop, TStep: spec.TRise / 15})
+	if err != nil {
+		return nil, nil, st, 0, err
+	}
+	v, err := res.V(ends[spec.victimIndex()][1])
+	if err != nil {
+		return nil, nil, st, 0, err
+	}
+	return res.Times, v, st, mutuals, nil
+}
+
+// Analyze runs the three stimulus configurations and collects metrics.
+func Analyze(spec BusSpec) (*Result, error) {
+	vi := spec.victimIndex()
+	// 1. Quiet victim, rising aggressors: glitch noise.
+	times, v, st, mut, err := simulateBus(spec, func(w int) stimulus {
+		if w == vi {
+			return quiet
+		}
+		return rising
+	})
+	if err != nil {
+		return nil, fmt.Errorf("xtalk: noise run: %w", err)
+	}
+	res := &Result{PeakNoise: sim.PeakAbs(v), Elements: st, Mutuals: mut}
+
+	delayOf := func(stim func(int) stimulus) (float64, error) {
+		times, v, _, _, err := simulateBus(spec, stim)
+		if err != nil {
+			return 0, err
+		}
+		cross, err := sim.CrossTime(times, v, spec.Vdd/2, true)
+		if err != nil {
+			return 0, err
+		}
+		return cross - (2*spec.TRise + spec.TRise/2), nil
+	}
+	_ = times
+	if res.DelayNominal, err = delayOf(func(w int) stimulus {
+		if w == vi {
+			return rising
+		}
+		return quiet
+	}); err != nil {
+		return nil, fmt.Errorf("xtalk: nominal run: %w", err)
+	}
+	if res.DelayOpposing, err = delayOf(func(w int) stimulus {
+		if w == vi {
+			return rising
+		}
+		return falling
+	}); err != nil {
+		return nil, fmt.Errorf("xtalk: opposing run: %w", err)
+	}
+	if res.DelaySame, err = delayOf(func(int) stimulus { return rising }); err != nil {
+		return nil, fmt.Errorf("xtalk: same-direction run: %w", err)
+	}
+	worst := res.DelayOpposing
+	res.InductanceDominated = res.DelaySame > res.DelayOpposing
+	if res.InductanceDominated {
+		worst = res.DelaySame
+	}
+	res.PushOut = worst - res.DelayNominal
+	if res.PushOut < 0 {
+		res.PushOut = 0
+	}
+	return res, nil
+}
+
+// SpacingSweep analyzes the bus at each spacing, for the noise-vs-
+// spacing trend (§7: "capacitive coupling can be reduced by increasing
+// the spacing").
+func SpacingSweep(spec BusSpec, spacings []float64) ([]*Result, error) {
+	out := make([]*Result, 0, len(spacings))
+	for _, sp := range spacings {
+		s := spec
+		s.Spacing = sp
+		r, err := Analyze(s)
+		if err != nil {
+			return nil, fmt.Errorf("xtalk: spacing %g: %w", sp, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// defaultExtract runs the standard full extraction on a bus layout.
+func defaultExtract(lay *geom.Layout) *extract.Parasitics {
+	return extract.Extract(lay, extract.DefaultOptions())
+}

@@ -1,0 +1,119 @@
+package xtalk
+
+import (
+	"testing"
+)
+
+func fastSpec() BusSpec {
+	s := DefaultBusSpec()
+	s.NWires = 3
+	s.Sections = 3
+	s.Length = 1.5e-3
+	return s
+}
+
+func TestAnalyzeBasicPhysics(t *testing.T) {
+	r, err := Analyze(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PeakNoise <= 0 {
+		t.Errorf("no coupled noise at minimum spacing")
+	}
+	if r.PeakNoise > 1.8 {
+		t.Errorf("noise %g above the rail — unphysical", r.PeakNoise)
+	}
+	// Some aggressor pattern must move the victim's delay.
+	if r.DeltaWorst() <= 0 {
+		t.Errorf("no delay sensitivity to aggressor patterns")
+	}
+	if r.PushOut < 0 {
+		t.Errorf("negative push-out")
+	}
+	if r.Mutuals == 0 {
+		t.Errorf("no mutual inductances in the coupled model")
+	}
+}
+
+func TestCouplingRegimeFlipsWorstPattern(t *testing.T) {
+	// Capacitance-dominated bus (short, tightly spaced, resistive
+	// drive): opposing transitions are worst — the classical Miller
+	// effect. Inductance-dominated bus (long, fast drive): same-
+	// direction transitions are worst — the RLC-specific reversal.
+	capSpec := DefaultBusSpec()
+	capSpec.NWires, capSpec.Sections = 3, 3
+	capSpec.Length = 0.4e-3
+	capSpec.Spacing = 0.25e-6
+	capSpec.DriverR = 150
+	capSpec.TRise = 120e-12
+	capRes, err := Analyze(capSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capRes.InductanceDominated {
+		t.Errorf("short tight bus should be capacitance-dominated: opposing %g vs same %g",
+			capRes.DelayOpposing, capRes.DelaySame)
+	}
+
+	indSpec := DefaultBusSpec()
+	indSpec.NWires, indSpec.Sections = 3, 3
+	indSpec.Length = 2e-3
+	indSpec.Spacing = 2e-6
+	indSpec.DriverR = 15
+	indSpec.TRise = 40e-12
+	indRes, err := Analyze(indSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indRes.InductanceDominated {
+		t.Errorf("long fast bus should be inductance-dominated: opposing %g vs same %g",
+			indRes.DelayOpposing, indRes.DelaySame)
+	}
+}
+
+func TestNoiseDecreasesWithSpacing(t *testing.T) {
+	spec := fastSpec()
+	rs, err := SpacingSweep(spec, []float64{0.5e-6, 1.5e-6, 4e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].PeakNoise >= rs[i-1].PeakNoise {
+			t.Errorf("noise did not fall with spacing: %g -> %g",
+				rs[i-1].PeakNoise, rs[i].PeakNoise)
+		}
+	}
+}
+
+func TestShieldsReduceNoise(t *testing.T) {
+	spec := fastSpec()
+	bare, err := Analyze(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Shields = true
+	shielded, err := Analyze(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shielded.PeakNoise >= bare.PeakNoise {
+		t.Errorf("shields did not reduce noise: %g vs %g",
+			shielded.PeakNoise, bare.PeakNoise)
+	}
+	if shielded.DeltaWorst() >= bare.DeltaWorst() {
+		t.Errorf("shields did not shrink the delay uncertainty: %g vs %g",
+			shielded.DeltaWorst(), bare.DeltaWorst())
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := fastSpec()
+	s.NWires = 4 // even
+	if _, err := Analyze(s); err == nil {
+		t.Errorf("even wire count accepted")
+	}
+	s.NWires = 1
+	if _, err := Analyze(s); err == nil {
+		t.Errorf("single wire accepted")
+	}
+}
