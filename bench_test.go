@@ -907,3 +907,121 @@ func BenchmarkRepeaterInsertion(b *testing.B) {
 	b.Logf("  RC methodology at its own k misses the true delay by %s",
 		units.FormatSI(cmp.RLC.Points[cmp.RC.BestK].TotalDelay-cmp.RC.BestDelay, "s"))
 }
+
+// --- Blocked dense-kernel benchmarks ---
+//
+// The pairs below measure the cache-blocked, SIMD-tiled kernels in
+// internal/matrix against their unblocked references on factorization
+// sizes where extraction and simulation actually live (a few hundred to
+// a thousand coupled segments). scripts/bench_kernels.sh snapshots the
+// same kernels into BENCH_kernels.json.
+
+func benchRandDense(n int) *matrix.Dense {
+	rng := rand.New(rand.NewSource(int64(n)))
+	a := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func benchRandSPD(n int) *matrix.Dense {
+	a := benchRandDense(n)
+	spd := a.MulTrans(a)
+	for i := 0; i < n; i++ {
+		spd.Add(i, i, float64(n))
+	}
+	return spd
+}
+
+func BenchmarkBlockedLU(b *testing.B) {
+	for _, n := range []int{256, 512} {
+		a := benchRandDense(n)
+		b.Run(fmt.Sprintf("unblocked-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := matrix.FactorLUUnblocked(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("blocked-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := matrix.FactorLU(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelCholesky(b *testing.B) {
+	for _, n := range []int{256, 512} {
+		a := benchRandSPD(n)
+		b.Run(fmt.Sprintf("unblocked-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := matrix.FactorCholeskyUnblocked(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("blocked-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := matrix.FactorCholesky(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBlockedMul(b *testing.B) {
+	n := 256
+	x := benchRandDense(n)
+	y := benchRandDense(n)
+	b.Run(fmt.Sprintf("unblocked-%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = x.MulUnblocked(y)
+		}
+	})
+	b.Run(fmt.Sprintf("blocked-%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = x.Mul(y)
+		}
+	})
+}
+
+// acBenchNetlist builds an RLC ladder long enough that the per-point
+// complex solve dominates the sweep.
+func acBenchNetlist(stages int) (*circuit.Netlist, int, string) {
+	n := circuit.New()
+	vi := n.AddV("v", "in", "0", circuit.DC(0))
+	prev := "in"
+	probe := "in"
+	for i := 0; i < stages; i++ {
+		mid := fmt.Sprintf("m%d", i)
+		nxt := fmt.Sprintf("n%d", i)
+		n.AddR(fmt.Sprintf("r%d", i), prev, mid, 2.0)
+		n.AddL(fmt.Sprintf("l%d", i), mid, nxt, 1e-9)
+		n.AddC(fmt.Sprintf("c%d", i), nxt, "0", 50e-15)
+		prev, probe = nxt, nxt
+	}
+	return n, vi, probe
+}
+
+func BenchmarkACSweepParallel(b *testing.B) {
+	n, vi, probe := acBenchNetlist(40)
+	stim := sim.ACStimulus{VSourceAmps: map[int]complex128{vi: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := sim.ACSweep(n, probe, stim, 1e7, 1e10, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}

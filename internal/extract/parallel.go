@@ -3,6 +3,7 @@ package extract
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"inductance101/internal/geom"
 	"inductance101/internal/matrix"
@@ -14,6 +15,15 @@ import (
 // evaluations); rows are independent, so this parallelizes perfectly.
 // workers <= 0 uses GOMAXPROCS. The result is bit-identical to the
 // serial version — each entry is computed exactly once by one goroutine.
+//
+// Work is handed out as interleaved strides: stride u covers rows
+// u, u+U, u+2U, ... for U total strides. Row i does n-i pair
+// evaluations (the loop only fills j > i), so contiguous chunks would
+// make the first worker's chunk several times more expensive than the
+// last one's; interleaving gives every stride the same mix of cheap and
+// expensive rows. Strides are claimed with a lock-free atomic counter —
+// the mutex-guarded handout this replaces serialized all workers through
+// one critical section per row.
 func InductanceMatrixParallel(l *geom.Layout, segs []int, window float64, opt GMDOptions, workers int) *matrix.Dense {
 	n := len(segs)
 	if workers <= 0 {
@@ -26,38 +36,38 @@ func InductanceMatrixParallel(l *geom.Layout, segs []int, window float64, opt GM
 		return InductanceMatrix(l, segs, window, opt)
 	}
 	m := matrix.NewDense(n, n)
-	var next int64
-	var mu sync.Mutex
-	take := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		i := int(next)
-		next++
-		return i
+	// A few strides per worker keeps the tail balanced even if one
+	// stride stalls (e.g. a worker descheduled by the OS).
+	numUnits := 4 * workers
+	if numUnits > n {
+		numUnits = n
 	}
+	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := take()
-				if i >= n {
+				u := int(atomic.AddInt64(&next, 1)) - 1
+				if u >= numUnits {
 					return
 				}
-				si := &l.Segments[segs[i]]
-				t := l.Layers[si.Layer].Thickness
-				m.Set(i, i, SelfInductanceBar(si.Length, si.Width, t))
-				for j := i + 1; j < n; j++ {
-					sj := &l.Segments[segs[j]]
-					pg, ok := l.Parallel(segs[i], segs[j])
-					if !ok || pg.D > window {
-						continue
+				for i := u; i < n; i += numUnits {
+					si := &l.Segments[segs[i]]
+					t := l.Layers[si.Layer].Thickness
+					m.Set(i, i, SelfInductanceBar(si.Length, si.Width, t))
+					for j := i + 1; j < n; j++ {
+						sj := &l.Segments[segs[j]]
+						pg, ok := l.Parallel(segs[i], segs[j])
+						if !ok || pg.D > window {
+							continue
+						}
+						tj := l.Layers[sj.Layer].Thickness
+						v := MutualBars(pg, si.Width, t, sj.Width, tj, opt)
+						m.Set(i, j, v)
+						m.Set(j, i, v)
 					}
-					tj := l.Layers[sj.Layer].Thickness
-					v := MutualBars(pg, si.Width, t, sj.Width, tj, opt)
-					m.Set(i, j, v)
-					m.Set(j, i, v)
 				}
 			}
 		}()

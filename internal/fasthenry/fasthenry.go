@@ -18,7 +18,6 @@ package fasthenry
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"inductance101/internal/extract"
 	"inductance101/internal/geom"
@@ -320,20 +319,12 @@ type Point struct {
 	L    float64
 }
 
-// Sweep extracts the port impedance at each frequency.
+// Sweep extracts the port impedance at each frequency. Points are
+// independent complex solves, so the sweep fans out across workers
+// (matrix.SetWorkers controls the count); results are identical to a
+// serial loop, in ascending frequency order.
 func (s *Solver) Sweep(freqs []float64) ([]Point, error) {
-	fs := append([]float64(nil), freqs...)
-	sort.Float64s(fs)
-	out := make([]Point, 0, len(fs))
-	for _, f := range fs {
-		z, err := s.Impedance(f)
-		if err != nil {
-			return nil, fmt.Errorf("fasthenry: at %s: %w", units.FormatSI(f, "Hz"), err)
-		}
-		r, l := RL(z, f)
-		out = append(out, Point{Freq: f, Z: z, R: r, L: l})
-	}
-	return out, nil
+	return s.SweepParallel(freqs, matrix.Workers())
 }
 
 // LogSpace returns n logarithmically spaced frequencies in [f0, f1].

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"inductance101/internal/units"
 )
@@ -12,7 +13,9 @@ import (
 // SweepParallel runs the frequency sweep with one goroutine per CPU:
 // each frequency's complex solve is independent, which makes extraction
 // sweeps (the dominant cost of the loop-model flow) scale with cores.
-// Results are identical to Sweep, in ascending frequency order.
+// Frequencies are claimed with a lock-free atomic counter, so workers
+// never serialize on a shared mutex between solves. Results are
+// identical to a serial sweep, in ascending frequency order.
 func (s *Solver) SweepParallel(freqs []float64, workers int) ([]Point, error) {
 	fs := append([]float64(nil), freqs...)
 	sort.Float64s(fs)
@@ -24,18 +27,14 @@ func (s *Solver) SweepParallel(freqs []float64, workers int) ([]Point, error) {
 	}
 	out := make([]Point, len(fs))
 	errs := make([]error, len(fs))
-	var idx int
-	var mu sync.Mutex
+	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := idx
-				idx++
-				mu.Unlock()
+				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(fs) {
 					return
 				}

@@ -21,21 +21,49 @@ type Cholesky struct {
 
 // FactorCholesky computes the Cholesky factorization of the symmetric
 // positive definite matrix a. Only the lower triangle of a is read.
+// Matrices of dimension blockedMin and up go through the cache-blocked,
+// parallel kernel; the result is bit-identical to
+// FactorCholeskyUnblocked at every worker count.
 func FactorCholesky(a *Dense) (*Cholesky, error) {
+	return factorCholesky(a, a.rows >= blockedMin)
+}
+
+// FactorCholeskyUnblocked runs the serial, unblocked reference
+// factorization regardless of size. It exists as the ground truth for
+// the equivalence tests and speedup benchmarks; solvers should call
+// FactorCholesky.
+func FactorCholeskyUnblocked(a *Dense) (*Cholesky, error) {
+	return factorCholesky(a, false)
+}
+
+func factorCholesky(a *Dense, blocked bool) (*Cholesky, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("matrix: Cholesky of non-square %dx%d", a.rows, a.cols)
 	}
 	n := a.rows
 	l := NewDense(n, n)
-	ld := l.data
-	ad := a.data
+	var err error
+	if blocked {
+		err = factorCholeskyBlocked(l.data, a.data, n)
+	} else {
+		err = factorCholeskyUnblocked(l.data, a.data, n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// factorCholeskyUnblocked is the reference kernel: left-looking
+// column-by-column factorization of the lower triangle.
+func factorCholeskyUnblocked(ld, ad []float64, n int) error {
 	for j := 0; j < n; j++ {
 		d := ad[j*n+j]
 		for k := 0; k < j; k++ {
 			d -= ld[j*n+k] * ld[j*n+k]
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
+			return ErrNotPositiveDefinite
 		}
 		ljj := math.Sqrt(d)
 		ld[j*n+j] = ljj
@@ -47,7 +75,7 @@ func FactorCholesky(a *Dense) (*Cholesky, error) {
 			ld[i*n+j] = s / ljj
 		}
 	}
-	return &Cholesky{l: l}, nil
+	return nil
 }
 
 // Solve solves A*x = b using the factorization.
@@ -78,24 +106,39 @@ func (c *Cholesky) Solve(b []float64) ([]float64, error) {
 	return x, nil
 }
 
-// SolveMat solves A*X = B column by column.
+// SolveMat solves A*X = B column by column. Columns are independent
+// triangular solves, so they run in parallel (each with its own
+// scratch); per-column results are identical to the serial loop.
 func (c *Cholesky) SolveMat(b *Dense) (*Dense, error) {
 	n := c.l.rows
 	if b.rows != n {
 		return nil, fmt.Errorf("matrix: Cholesky SolveMat rhs rows %d, want %d", b.rows, n)
 	}
 	x := NewDense(n, b.cols)
-	col := make([]float64, n)
-	for j := 0; j < b.cols; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = b.data[i*b.cols+j]
+	errs := make([]error, b.cols)
+	minChunk := 8
+	if n >= 128 {
+		minChunk = 1
+	}
+	ParallelRange(b.cols, minChunk, func(lo, hi int) {
+		col := make([]float64, n)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = b.data[i*b.cols+j]
+			}
+			sol, err := c.Solve(col)
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			for i := 0; i < n; i++ {
+				x.data[i*b.cols+j] = sol[i]
+			}
 		}
-		sol, err := c.Solve(col)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			x.data[i*b.cols+j] = sol[i]
 		}
 	}
 	return x, nil

@@ -144,13 +144,37 @@ func (m *Dense) AddScaled(s float64, a *Dense) *Dense {
 	return m
 }
 
-// Mul returns the matrix product m*b.
+// Mul returns the matrix product m*b. Products large enough to repay
+// the tiling overhead go through the blocked, parallel kernel; small
+// ones use the reference loop. Both accumulate each output entry in
+// increasing-k order, so results agree bit-for-bit on finite data.
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("matrix: Mul dimension mismatch %dx%d * %dx%d",
 			m.rows, m.cols, b.rows, b.cols))
 	}
 	out := NewDense(m.rows, b.cols)
+	if m.rows*m.cols*b.cols >= mulBlockedMin && b.cols >= 4 {
+		mulBlocked(m, b, out)
+		return out
+	}
+	m.mulInto(b, out)
+	return out
+}
+
+// MulUnblocked returns m*b via the serial reference loop regardless of
+// size — the ground truth for the kernel-equivalence tests.
+func (m *Dense) MulUnblocked(b *Dense) *Dense {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("matrix: Mul dimension mismatch %dx%d * %dx%d",
+			m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewDense(m.rows, b.cols)
+	m.mulInto(b, out)
+	return out
+}
+
+func (m *Dense) mulInto(b, out *Dense) {
 	for i := 0; i < m.rows; i++ {
 		mi := m.data[i*m.cols : (i+1)*m.cols]
 		oi := out.data[i*b.cols : (i+1)*b.cols]
@@ -164,24 +188,68 @@ func (m *Dense) Mul(b *Dense) *Dense {
 			}
 		}
 	}
+}
+
+// MulTrans returns m^T * b without materializing the transpose. This is
+// the projection product of PRIMA (V^T G V etc.); both operands are
+// packed into contiguous tiles so the blocked kernel applies, parallel
+// over rows of the result.
+func (m *Dense) MulTrans(b *Dense) *Dense {
+	if m.rows != b.rows {
+		panic(fmt.Sprintf("matrix: MulTrans dimension mismatch %dx%d ^T * %dx%d",
+			m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewDense(m.cols, b.cols)
+	if m.rows*m.cols*b.cols >= mulBlockedMin {
+		ParallelRange(m.cols, 8, func(lo, hi int) {
+			mulTransRows(m, b, out, lo, hi)
+		})
+		return out
+	}
+	for i := 0; i < m.cols; i++ {
+		for j := 0; j < b.cols; j++ {
+			s := 0.0
+			for k := 0; k < m.rows; k++ {
+				s += m.data[k*m.cols+i] * b.data[k*b.cols+j]
+			}
+			out.data[i*b.cols+j] = s
+		}
+	}
 	return out
 }
 
 // MulVec returns m*x as a new slice.
 func (m *Dense) MulVec(x []float64) []float64 {
+	return m.MulVecTo(make([]float64, m.rows), x)
+}
+
+// MulVecTo computes m*x into dst (which must have length m.rows and not
+// alias x) and returns dst. Rows are independent dot products, split
+// across workers for large matrices; each row is accumulated exactly as
+// in the serial loop. This is the allocation-free matvec used by the
+// transient simulator's per-step history product.
+func (m *Dense) MulVecTo(dst, x []float64) []float64 {
 	if m.cols != len(x) {
 		panic("matrix: MulVec dimension mismatch")
 	}
-	y := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		mi := m.data[i*m.cols : (i+1)*m.cols]
-		s := 0.0
-		for j, v := range mi {
-			s += v * x[j]
-		}
-		y[i] = s
+	if len(dst) != m.rows {
+		panic("matrix: MulVecTo destination length mismatch")
 	}
-	return y
+	minChunk := 1
+	if m.cols > 0 {
+		minChunk = 1 + (1<<14)/m.cols
+	}
+	ParallelRange(m.rows, minChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mi := m.data[i*m.cols : (i+1)*m.cols]
+			s := 0.0
+			for j, v := range mi {
+				s += v * x[j]
+			}
+			dst[i] = s
+		}
+	})
+	return dst
 }
 
 // T returns the transpose as a new matrix.

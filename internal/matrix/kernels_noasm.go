@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package matrix
+
+// Non-amd64 builds use the scalar tiled kernels only; results are
+// identical (the AVX2 kernels never change per-entry operation order).
+const hasAVX2 = false
+
+func gemmSubAVX2(c, l, u *float64, cn, ln, kb int) {
+	panic("matrix: AVX2 kernel called without AVX2 support")
+}
+
+func gemmAddAVX2(c, l, u *float64, cn, ln, kb int) {
+	panic("matrix: AVX2 kernel called without AVX2 support")
+}

@@ -20,8 +20,22 @@ type LU struct {
 }
 
 // FactorLU computes the LU factorization with partial pivoting of the
-// square matrix a. a is not modified.
+// square matrix a. a is not modified. Matrices of dimension blockedMin
+// and up go through the cache-blocked, parallel kernel; the result is
+// bit-identical to FactorLUUnblocked at every worker count (the blocked
+// kernel preserves the reference per-entry operation order).
 func FactorLU(a *Dense) (*LU, error) {
+	return factorLU(a, a.rows >= blockedMin)
+}
+
+// FactorLUUnblocked runs the serial, unblocked reference factorization
+// regardless of size. It exists as the ground truth for the equivalence
+// tests and speedup benchmarks; solvers should call FactorLU.
+func FactorLUUnblocked(a *Dense) (*LU, error) {
+	return factorLU(a, false)
+}
+
+func factorLU(a *Dense, blocked bool) (*LU, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("matrix: LU of non-square %dx%d", a.rows, a.cols)
 	}
@@ -31,8 +45,23 @@ func FactorLU(a *Dense) (*LU, error) {
 	for i := range piv {
 		piv[i] = i
 	}
+	var sign int
+	var err error
+	if blocked {
+		sign, err = factorLUBlocked(lu.data, n, piv)
+	} else {
+		sign, err = factorLUUnblocked(lu.data, n, piv)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// factorLUUnblocked is the reference kernel: right-looking LU with
+// partial pivoting, immediate rank-1 trailing updates.
+func factorLUUnblocked(d []float64, n int, piv []int) (int, error) {
 	sign := 1
-	d := lu.data
 	for k := 0; k < n; k++ {
 		// Pivot: largest |d[i][k]| for i >= k.
 		p, mx := k, math.Abs(d[k*n+k])
@@ -42,7 +71,7 @@ func FactorLU(a *Dense) (*LU, error) {
 			}
 		}
 		if mx == 0 {
-			return nil, ErrSingular
+			return sign, ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -63,7 +92,7 @@ func FactorLU(a *Dense) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	return sign, nil
 }
 
 // Solve solves A*x = b for one right-hand side. b is not modified.
@@ -100,24 +129,39 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 	return x, nil
 }
 
-// SolveMat solves A*X = B column by column.
+// SolveMat solves A*X = B column by column. Columns are independent
+// triangular solves, so they run in parallel (each with its own
+// scratch); per-column results are identical to the serial loop.
 func (f *LU) SolveMat(b *Dense) (*Dense, error) {
 	n := f.lu.rows
 	if b.rows != n {
 		return nil, fmt.Errorf("matrix: LU SolveMat rhs rows %d, want %d", b.rows, n)
 	}
 	x := NewDense(n, b.cols)
-	col := make([]float64, n)
-	for j := 0; j < b.cols; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = b.data[i*b.cols+j]
+	errs := make([]error, b.cols)
+	minChunk := 8
+	if n >= 128 {
+		minChunk = 1
+	}
+	ParallelRange(b.cols, minChunk, func(lo, hi int) {
+		col := make([]float64, n)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = b.data[i*b.cols+j]
+			}
+			sol, err := f.Solve(col)
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			for i := 0; i < n; i++ {
+				x.data[i*b.cols+j] = sol[i]
+			}
 		}
-		sol, err := f.Solve(col)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			x.data[i*b.cols+j] = sol[i]
 		}
 	}
 	return x, nil

@@ -1,0 +1,74 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount holds the configured kernel parallelism. Zero means "use
+// GOMAXPROCS". It is read on every kernel dispatch, so access is atomic
+// to keep concurrent SetWorkers calls (and the race detector) happy.
+var workerCount int64
+
+// SetWorkers sets the number of goroutines the dense kernels (FactorLU,
+// FactorCholesky, Mul, MulVecTo, the multi-RHS triangular solves) may
+// use. n <= 0 restores the default, GOMAXPROCS. SetWorkers(1) forces
+// the fully serial path.
+//
+// Every parallel kernel in this package partitions work so that each
+// output element is computed by exactly one goroutine with the same
+// per-element operation order as the serial reference kernel, so results
+// are bit-identical at every worker count; SetWorkers only trades wall
+// clock for cores.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	atomic.StoreInt64(&workerCount, int64(n))
+}
+
+// Workers reports the current kernel parallelism: the value set by
+// SetWorkers, or GOMAXPROCS when unset.
+func Workers() int {
+	if w := atomic.LoadInt64(&workerCount); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelRange splits [0, n) into one contiguous chunk per worker and
+// runs fn on each chunk, blocking until all complete. Chunks smaller
+// than minChunk are not worth a goroutine: the worker count is capped at
+// n/minChunk, and with one worker (or tiny n) fn runs inline. fn must
+// write only to locations owned by its chunk.
+func ParallelRange(n, minChunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if minChunk > 0 && w > n/minChunk {
+		w = n / minChunk
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -147,10 +147,12 @@ func Reduce(m *circuit.MNA, activePorts []Port, observeNodes []int, opt Options)
 		prev = nv
 	}
 
+	// Projections via MulTrans: V^T * X without materializing V^T, with
+	// the blocked parallel product doing the heavy n x q work.
 	rm := &ReducedModel{
-		Gr: v.T().Mul(g.Mul(v)),
-		Cr: v.T().Mul(c.Mul(v)),
-		Br: v.T().Mul(b),
+		Gr: v.MulTrans(g.Mul(v)),
+		Cr: v.MulTrans(c.Mul(v)),
+		Br: v.MulTrans(b),
 		V:  v,
 	}
 	// Observation matrix over requested nodes.
@@ -161,7 +163,7 @@ func Reduce(m *circuit.MNA, activePorts []Port, observeNodes []int, opt Options)
 		}
 		l.Set(p, k, 1)
 	}
-	rm.Lr = v.T().Mul(l)
+	rm.Lr = v.MulTrans(l)
 	return rm, nil
 }
 

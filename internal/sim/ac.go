@@ -18,34 +18,56 @@ type ACStimulus struct {
 	ISourceAmps map[int]complex128 // ISource index -> amplitude
 }
 
-// AC solves the complex MNA system (G + jωC) X = B at angular frequency
-// omega and returns the full complex state vector.
-func AC(m *circuit.MNA, omega float64, stim ACStimulus) ([]complex128, error) {
-	if len(m.N.MOSFETs) != 0 {
-		return nil, fmt.Errorf("sim: AC analysis of nonlinear netlists is not supported (linearize first)")
-	}
+// acEntry is one structurally nonzero position of the MNA pencil
+// (G, C); the complex system matrix at any frequency is assembled from
+// these without rescanning the dense G and C.
+type acEntry struct {
+	i, j int
+	g, c float64
+}
+
+// acPattern caches the sparsity structure of an MNA system so a
+// frequency sweep pays the O(size^2) G/C scan once instead of once per
+// point.
+type acPattern struct {
+	size    int
+	nn      int // number of nodes (gmin targets)
+	entries []acEntry
+}
+
+func buildACPattern(m *circuit.MNA) *acPattern {
 	size := m.Size()
-	a := matrix.NewCDense(size, size)
+	p := &acPattern{size: size, nn: m.N.NumNodes()}
 	for i := 0; i < size; i++ {
 		for j := 0; j < size; j++ {
 			g := m.G.At(i, j)
 			c := m.C.At(i, j)
 			if g != 0 || c != 0 {
-				a.Set(i, j, complex(g, omega*c))
+				p.entries = append(p.entries, acEntry{i: i, j: j, g: g, c: c})
 			}
 		}
 	}
+	return p
+}
+
+// solve assembles (G + jωC) from the pattern — entries in the same
+// row-major order as the direct scan, so the matrix and the solution
+// are identical — and solves for the given stimulus.
+func (p *acPattern) solve(n *circuit.Netlist, omega float64, stim ACStimulus) ([]complex128, error) {
+	a := matrix.NewCDense(p.size, p.size)
+	for _, e := range p.entries {
+		a.Set(e.i, e.j, complex(e.g, omega*e.c))
+	}
 	// gmin for floating nodes.
-	for i := 0; i < m.N.NumNodes(); i++ {
+	for i := 0; i < p.nn; i++ {
 		a.Add(i, i, 1e-12)
 	}
-	b := make([]complex128, size)
-	nn := m.N.NumNodes()
+	b := make([]complex128, p.size)
 	for vi, amp := range stim.VSourceAmps {
-		b[nn+m.N.VSources[vi].Branch] += amp
+		b[p.nn+n.VSources[vi].Branch] += amp
 	}
 	for ii, amp := range stim.ISourceAmps {
-		s := m.N.ISources[ii]
+		s := n.ISources[ii]
 		if s.A >= 0 {
 			b[s.A] -= amp
 		}
@@ -56,6 +78,15 @@ func AC(m *circuit.MNA, omega float64, stim ACStimulus) ([]complex128, error) {
 	return matrix.SolveComplex(a, b)
 }
 
+// AC solves the complex MNA system (G + jωC) X = B at angular frequency
+// omega and returns the full complex state vector.
+func AC(m *circuit.MNA, omega float64, stim ACStimulus) ([]complex128, error) {
+	if len(m.N.MOSFETs) != 0 {
+		return nil, fmt.Errorf("sim: AC analysis of nonlinear netlists is not supported (linearize first)")
+	}
+	return buildACPattern(m).solve(m.N, omega, stim)
+}
+
 // ACPoint is one row of a frequency sweep.
 type ACPoint struct {
 	Freq float64
@@ -64,7 +95,11 @@ type ACPoint struct {
 
 // ACSweep runs AC at logarithmically spaced frequencies from fStart to
 // fStop (inclusive, pointsPerDecade per decade) and records the complex
-// voltage of the probe node.
+// voltage of the probe node. The G/C sparsity pattern is extracted once
+// and the frequency points — independent complex solves — run in
+// parallel (matrix.SetWorkers controls the fan-out). Results are
+// bit-identical to the serial sweep: each point is one self-contained
+// solve.
 func ACSweep(n *circuit.Netlist, probe string, stim ACStimulus, fStart, fStop float64, pointsPerDecade int) ([]ACPoint, error) {
 	if fStart <= 0 || fStop <= fStart {
 		return nil, fmt.Errorf("sim: bad AC sweep range [%g, %g]", fStart, fStop)
@@ -77,20 +112,33 @@ func ACSweep(n *circuit.Netlist, probe string, stim ACStimulus, fStart, fStop fl
 		return nil, err
 	}
 	m := circuit.Build(n)
-	var out []ACPoint
+	if len(m.N.MOSFETs) != 0 {
+		return nil, fmt.Errorf("sim: AC analysis of nonlinear netlists is not supported (linearize first)")
+	}
+	pat := buildACPattern(m)
 	decades := math.Log10(fStop / fStart)
 	nPts := int(decades*float64(pointsPerDecade)) + 1
-	for k := 0; k <= nPts; k++ {
-		f := fStart * math.Pow(10, decades*float64(k)/float64(nPts))
-		x, err := AC(m, 2*math.Pi*f, stim)
+	out := make([]ACPoint, nPts+1)
+	errs := make([]error, nPts+1)
+	matrix.ParallelRange(nPts+1, 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			f := fStart * math.Pow(10, decades*float64(k)/float64(nPts))
+			x, err := pat.solve(m.N, 2*math.Pi*f, stim)
+			if err != nil {
+				errs[k] = fmt.Errorf("sim: AC at %g Hz: %w", f, err)
+				return
+			}
+			v := complex(0, 0)
+			if idx >= 0 {
+				v = x[idx]
+			}
+			out[k] = ACPoint{Freq: f, V: v}
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sim: AC at %g Hz: %w", f, err)
+			return nil, err
 		}
-		v := complex(0, 0)
-		if idx >= 0 {
-			v = x[idx]
-		}
-		out = append(out, ACPoint{Freq: f, V: v})
 	}
 	return out, nil
 }

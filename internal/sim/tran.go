@@ -76,11 +76,15 @@ func TranFrom(m *circuit.MNA, x0 []float64, opt TranOptions) (*TranResult, error
 		deviceCurrents(n, x, fPrev)
 	}
 	bNow := make([]float64, size)
+	// The history matvec is the per-step hot spot for linear systems;
+	// reuse one scratch vector (MulVecTo also fans rows out across
+	// workers for large systems) instead of allocating every step.
+	rhsBase := make([]float64, size)
 
 	for k := 1; k <= steps; k++ {
 		t := float64(k) * h
 		m.RHS(t, bNow)
-		rhsBase := hist.MulVec(x)
+		hist.MulVecTo(rhsBase, x)
 		if opt.Method == Trapezoidal {
 			matrix.Axpy(1, bPrev, rhsBase)
 			matrix.Axpy(1, fPrev, rhsBase)
