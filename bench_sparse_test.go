@@ -1,0 +1,152 @@
+package repro
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/extract"
+	"inductance101/internal/grid"
+	"inductance101/internal/pkgmodel"
+	"inductance101/internal/sim"
+)
+
+// TestBenchSparseSnapshot times the sparse direct solver against the
+// dense kernels on a gridnoise-scale power grid (>= 2000 MNA unknowns)
+// and writes BENCH_sparse.json. Like the kernel snapshot it only runs
+// when BENCH_SPARSE=1; regenerate with scripts/bench_sparse.sh.
+func TestBenchSparseSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_SPARSE") == "" {
+		t.Skip("set BENCH_SPARSE=1 to write BENCH_sparse.json")
+	}
+
+	// A 24x24 interleaved VDD/GND mesh. ModeRC keeps the element count
+	// proportional to the wire count; a tight mutual window skips the
+	// (unused) far-field inductance work during setup.
+	spec := grid.DefaultSpec()
+	spec.NX, spec.NY = 24, 24
+	m, err := grid.BuildPowerGrid(grid.StandardLayers(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := extract.DefaultOptions()
+	opt.MutualWindow = spec.Pitch
+	par := extract.ExtractSegments(m.Layout, nil, opt)
+	p, err := grid.BuildPEECNetlist(m.Layout, par, grid.PEECOptions{Mode: grid.ModeRC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Netlist
+	if err := m.AttachPackage(n, pkgmodel.FlipChip(), 1.8); err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() < 2000 {
+		t.Fatalf("grid too small for the benchmark: %d unknowns", n.Size())
+	}
+	t.Logf("grid: %d nodes, %d MNA unknowns", n.NumNodes(), n.Size())
+
+	best := func(reps int, fn func()) float64 {
+		b := math.Inf(1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			fn()
+			if s := time.Since(start).Seconds(); s < b {
+				b = s
+			}
+		}
+		return b
+	}
+
+	// Static IR drop: the dense path against the sparse Cholesky and CG
+	// paths gridnoise's -irsolver flag selects.
+	var denseDrop, cholDrop, cgDrop float64
+	denseIR := best(1, func() {
+		denseDrop, err = grid.IRDropDC(m, n, 1.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	cholIR := best(3, func() {
+		cholDrop, err = grid.IRDropDCSparseChol(m, n, 1.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	cgIR := best(3, func() {
+		cgDrop, err = grid.IRDropDCSparse(m, n, 1.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if d := math.Abs(denseDrop - cholDrop); d > 1e-9*math.Max(denseDrop, 1) {
+		t.Fatalf("sparse Cholesky IR drop %g disagrees with dense %g", cholDrop, denseDrop)
+	}
+	if d := math.Abs(denseDrop - cgDrop); d > 1e-6*math.Max(denseDrop, 1) {
+		t.Fatalf("CG IR drop %g disagrees with dense %g", cgDrop, denseDrop)
+	}
+	t.Logf("static IR: dense %.3fs, sparse chol %.5fs (%.0fx), cg %.5fs (%.0fx)",
+		denseIR, cholIR, denseIR/cholIR, cgIR, denseIR/cgIR)
+	if denseIR < 5*cholIR {
+		t.Fatalf("sparse Cholesky speedup %.1fx below the 5x requirement", denseIR/cholIR)
+	}
+
+	// Transient: sparse LU path against the dense stepper on the same
+	// grid, short horizon (the factorization dominates both).
+	n.AddI("bench_load", m.VddX[spec.NY/2][spec.NX/2], "0",
+		circuit.Pulse{V1: 0, V2: 0.02, Delay: 10e-12, Rise: 20e-12, Width: 200e-12, Fall: 20e-12})
+	tranOpt := sim.TranOptions{TStop: 0.5e-9, TStep: 10e-12}
+	var sparseTran, denseTran float64
+	func() {
+		old := sim.SetSparseThreshold(1)
+		defer sim.SetSparseThreshold(old)
+		sparseTran = best(3, func() {
+			if _, err := sim.Tran(n, tranOpt); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}()
+	func() {
+		old := sim.SetSparseThreshold(1 << 30)
+		defer sim.SetSparseThreshold(old)
+		denseTran = best(1, func() {
+			if _, err := sim.Tran(n, tranOpt); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}()
+	t.Logf("tran: dense %.3fs, sparse %.5fs (%.0fx)", denseTran, sparseTran, denseTran/sparseTran)
+
+	out, err := json.MarshalIndent(struct {
+		Note        string  `json:"note"`
+		Unknowns    int     `json:"mna_unknowns"`
+		Nodes       int     `json:"grid_nodes"`
+		DenseIRSec  float64 `json:"static_ir_dense_sec"`
+		CholIRSec   float64 `json:"static_ir_sparse_chol_sec"`
+		CGIRSec     float64 `json:"static_ir_cg_sec"`
+		CholSpeedup float64 `json:"static_ir_chol_speedup"`
+		DenseTran   float64 `json:"tran_dense_sec"`
+		SparseTran  float64 `json:"tran_sparse_sec"`
+		TranSpeedup float64 `json:"tran_sparse_speedup"`
+	}{
+		Note:        "sparse vs dense solver on a gridnoise-scale power grid; regenerate with scripts/bench_sparse.sh",
+		Unknowns:    n.Size(),
+		Nodes:       n.NumNodes(),
+		DenseIRSec:  denseIR,
+		CholIRSec:   cholIR,
+		CGIRSec:     cgIR,
+		CholSpeedup: denseIR / cholIR,
+		DenseTran:   denseTran,
+		SparseTran:  sparseTran,
+		TranSpeedup: denseTran / sparseTran,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sparse.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_sparse.json")
+}

@@ -23,13 +23,14 @@ import (
 
 func main() {
 	var (
-		nx    = flag.Int("nx", 4, "grid lines per direction (X)")
-		ny    = flag.Int("ny", 4, "grid lines per direction (Y)")
-		pitch = flag.Float64("pitch", 150e-6, "grid pitch (m)")
-		burst = flag.Float64("burst", 25e-3, "burst peak current (A)")
-		dcap  = flag.Float64("decap", 2e4, "decap budget, total transistor width (um)")
-		sweep = flag.Bool("sweep", false, "sweep the decap budget")
-		pkgs  = flag.Bool("packages", false, "compare package models")
+		nx     = flag.Int("nx", 4, "grid lines per direction (X)")
+		ny     = flag.Int("ny", 4, "grid lines per direction (Y)")
+		pitch  = flag.Float64("pitch", 150e-6, "grid pitch (m)")
+		burst  = flag.Float64("burst", 25e-3, "burst peak current (A)")
+		dcap   = flag.Float64("decap", 2e4, "decap budget, total transistor width (um)")
+		sweep  = flag.Bool("sweep", false, "sweep the decap budget")
+		pkgs   = flag.Bool("packages", false, "compare package models")
+		irsolv = flag.String("irsolver", "dense", "static IR solver: dense, cg or chol")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 	spec.Bursts[0].X = float64(*nx-1) / 2 * *pitch
 	spec.Bursts[0].Y = float64(*ny-1) / 2 * *pitch
 	spec.DecapWidth = *dcap
+	spec.IRSolver = *irsolv
 
 	rep, err := supply.Analyze(spec)
 	if err != nil {

@@ -1,0 +1,146 @@
+package repro
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// The golden suite pins the observable behavior of every command-line
+// tool: each tool's stdout is captured into testdata/golden/<tool>.txt
+// and any drift — a changed number, a reordered row, a reworded label —
+// fails the test with a diff-friendly message. Regenerate after an
+// intentional output change with:
+//
+//	go test -run TestGolden -update ./...
+var update = flag.Bool("update", false, "rewrite golden files from current tool output")
+
+// runtimeRow masks clocksim's wall-clock row, the one nondeterministic
+// line in any tool's output.
+var runtimeRow = regexp.MustCompile(`(?m)^Run-time.*$`)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildTools compiles all four CLI tools once per test process.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "golden-bin-")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", buildDir+string(os.PathSeparator),
+			"./cmd/rlsweep", "./cmd/inductx", "./cmd/clocksim", "./cmd/gridnoise")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = err
+			buildDir = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v\n%s", buildErr, buildDir)
+	}
+	return buildDir
+}
+
+// normalize strips the output rows that legitimately vary run to run.
+func normalize(b []byte) []byte {
+	return runtimeRow.ReplaceAll(b, []byte("Run-time <masked>"))
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	got = normalize(got)
+	path := filepath.Join("testdata", "golden", name+".txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to create): %v", path, err)
+	}
+	if string(got) == string(want) {
+		return
+	}
+	gl, wl := splitLines(string(got)), splitLines(string(want))
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Fatalf("%s drifted at line %d:\n  golden: %q\n  got:    %q\n(rerun with -update if the change is intentional)", path, i+1, w, g)
+		}
+	}
+	t.Fatalf("%s drifted (same lines, different content?)", path)
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func runTool(t *testing.T, bin string, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("%s %v: %v\nstdout:\n%s", bin, args, err, out)
+	}
+	return out
+}
+
+func TestGoldenRLSweep(t *testing.T) {
+	dir := buildTools(t)
+	checkGolden(t, "rlsweep", runTool(t, filepath.Join(dir, "rlsweep")))
+}
+
+func TestGoldenInductx(t *testing.T) {
+	dir := buildTools(t)
+	bin := filepath.Join(dir, "inductx")
+	// inductx consumes a layout file; feed it its own sample layout so
+	// the run is self-contained.
+	sample := runTool(t, bin, "-sample")
+	layout := filepath.Join(t.TempDir(), "sample.json")
+	if err := os.WriteFile(layout, sample, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "inductx", runTool(t, bin, layout))
+}
+
+func TestGoldenClocksim(t *testing.T) {
+	dir := buildTools(t)
+	checkGolden(t, "clocksim", runTool(t, filepath.Join(dir, "clocksim")))
+}
+
+func TestGoldenGridnoise(t *testing.T) {
+	dir := buildTools(t)
+	checkGolden(t, "gridnoise", runTool(t, filepath.Join(dir, "gridnoise")))
+}

@@ -31,90 +31,103 @@ func Build(n *Netlist) *MNA {
 		G:       matrix.NewDense(size, size),
 		C:       matrix.NewDense(size, size),
 		size:    size,
-		kMember: make(map[int]bool),
+		kMember: kMembers(n),
 	}
+	stampLinear(n, m.G.Add, m.C.Add, m.kMember)
+	return m
+}
+
+// kMembers marks inductors whose branch row is governed by a KGroup
+// instead of their own L.
+func kMembers(n *Netlist) map[int]bool {
+	km := make(map[int]bool)
 	for _, kg := range n.KGroups {
 		for _, li := range kg.Inductors {
-			m.kMember[li] = true
+			km[li] = true
 		}
 	}
+	return km
+}
 
+// stampLinear walks the linear elements once, stamping conductances via
+// addG and capacitances/inductances via addC. The two sinks see the
+// exact same sequence of (i, j, v) stamps, so the dense Build and the
+// sparse BuildSparse accumulate bit-identical values entry for entry.
+// Ground rows/columns are filtered here.
+func stampLinear(n *Netlist, addGRaw, addCRaw func(i, j int, v float64), kMember map[int]bool) {
+	addG := func(i, j int, v float64) {
+		if i == groundIndex || j == groundIndex {
+			return
+		}
+		addGRaw(i, j, v)
+	}
+	addC := func(i, j int, v float64) {
+		if i == groundIndex || j == groundIndex {
+			return
+		}
+		addCRaw(i, j, v)
+	}
 	for i := range n.Resistors {
 		r := &n.Resistors[i]
 		g := 1 / r.R
-		m.addG(r.A, r.A, g)
-		m.addG(r.B, r.B, g)
-		m.addG(r.A, r.B, -g)
-		m.addG(r.B, r.A, -g)
+		addG(r.A, r.A, g)
+		addG(r.B, r.B, g)
+		addG(r.A, r.B, -g)
+		addG(r.B, r.A, -g)
 	}
 	for i := range n.Capacitors {
 		c := &n.Capacitors[i]
-		m.addC(c.A, c.A, c.C)
-		m.addC(c.B, c.B, c.C)
-		m.addC(c.A, c.B, -c.C)
-		m.addC(c.B, c.A, -c.C)
+		addC(c.A, c.A, c.C)
+		addC(c.B, c.B, c.C)
+		addC(c.A, c.B, -c.C)
+		addC(c.B, c.A, -c.C)
 	}
 	nn := n.NumNodes()
 	for i := range n.Inductors {
 		l := &n.Inductors[i]
 		br := nn + l.Branch
 		// KCL: branch current leaves A, enters B.
-		m.addG(l.A, br, 1)
-		m.addG(l.B, br, -1)
-		if m.kMember[i] {
+		addG(l.A, br, 1)
+		addG(l.B, br, -1)
+		if kMember[i] {
 			continue // branch row stamped by the KGroup below
 		}
 		// Branch row: v_A - v_B - L di/dt = 0.
-		m.addG(br, l.A, 1)
-		m.addG(br, l.B, -1)
-		m.C.Add(br, br, -l.L)
+		addG(br, l.A, 1)
+		addG(br, l.B, -1)
+		addC(br, br, -l.L)
 	}
 	for i := range n.Mutuals {
 		mu := &n.Mutuals[i]
 		ba := nn + n.Inductors[mu.La].Branch
 		bb := nn + n.Inductors[mu.Lb].Branch
-		m.C.Add(ba, bb, -mu.M)
-		m.C.Add(bb, ba, -mu.M)
+		addC(ba, bb, -mu.M)
+		addC(bb, ba, -mu.M)
 	}
 	for _, kg := range n.KGroups {
 		// Branch rows: sum_j K_ij (v_Aj - v_Bj) - di_i/dt = 0.
 		for gi, liI := range kg.Inductors {
 			br := nn + n.Inductors[liI].Branch
-			m.C.Add(br, br, -1)
+			addC(br, br, -1)
 			for gj, liJ := range kg.Inductors {
 				k := kg.K[gi][gj]
 				if k == 0 {
 					continue
 				}
 				lj := &n.Inductors[liJ]
-				m.addG(br, lj.A, k)
-				m.addG(br, lj.B, -k)
+				addG(br, lj.A, k)
+				addG(br, lj.B, -k)
 			}
 		}
 	}
 	for i := range n.VSources {
 		v := &n.VSources[i]
 		br := nn + v.Branch
-		m.addG(v.A, br, 1)
-		m.addG(v.B, br, -1)
-		m.addG(br, v.A, 1)
-		m.addG(br, v.B, -1)
+		addG(v.A, br, 1)
+		addG(v.B, br, -1)
+		addG(br, v.A, 1)
+		addG(br, v.B, -1)
 	}
-	return m
-}
-
-func (m *MNA) addG(i, j int, v float64) {
-	if i == groundIndex || j == groundIndex {
-		return
-	}
-	m.G.Add(i, j, v)
-}
-
-func (m *MNA) addC(i, j int, v float64) {
-	if i == groundIndex || j == groundIndex {
-		return
-	}
-	m.C.Add(i, j, v)
 }
 
 // Size returns the MNA system dimension.

@@ -1,0 +1,376 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseSPICE reads a SPICE deck of the dialect WriteSpice emits —
+// R/C/L/K/V/I/M cards, `.model` level-1 MOSFET lines, `.end`, `*`
+// comments and `+` continuations — and assembles the netlist. It is
+// the inverse of WriteSpice: parsing a written deck reproduces the
+// circuit (modulo element names, which SPICE keys by card).
+//
+// Every malformed input returns an error; no input panics. The Add*
+// methods validate by panicking, so this function checks every value
+// and reference before touching the netlist.
+func ParseSPICE(r io.Reader) (*Netlist, error) {
+	lines, err := logicalLines(r)
+	if err != nil {
+		return nil, err
+	}
+	n := New()
+	inductorByName := map[string]int{}
+	models := map[string]spiceModel{}
+
+	// .model cards can appear after the M cards that use them, so
+	// resolve MOSFETs in a second pass.
+	type pendingMOS struct {
+		lineNo         int
+		name           string
+		d, g, s, model string
+	}
+	var pending []pendingMOS
+
+	for _, ln := range lines {
+		fields := strings.Fields(ln.text)
+		if len(fields) == 0 {
+			continue
+		}
+		card := fields[0]
+		fail := func(format string, args ...any) (*Netlist, error) {
+			return nil, fmt.Errorf("circuit: line %d: %s: %s", ln.no, card, fmt.Sprintf(format, args...))
+		}
+		switch head := strings.ToUpper(card[:1]); head {
+		case ".":
+			switch directive := strings.ToLower(card); directive {
+			case ".end":
+				goto done
+			case ".model":
+				name, m, err := parseModel(fields)
+				if err != nil {
+					return fail("%v", err)
+				}
+				models[strings.ToLower(name)] = m
+			default:
+				return fail("unknown directive")
+			}
+		case "R", "C", "L":
+			if len(fields) != 4 {
+				return fail("want NAME node node value, got %d fields", len(fields))
+			}
+			v, err := parseValue(fields[3])
+			if err != nil {
+				return fail("%v", err)
+			}
+			switch head {
+			case "R":
+				if v <= 0 {
+					return fail("non-positive resistance %g", v)
+				}
+				n.AddR(card, fields[1], fields[2], v)
+			case "C":
+				if v < 0 {
+					return fail("negative capacitance %g", v)
+				}
+				n.AddC(card, fields[1], fields[2], v)
+			case "L":
+				if v < 0 {
+					return fail("negative inductance %g", v)
+				}
+				key := strings.ToLower(card)
+				if _, dup := inductorByName[key]; dup {
+					return fail("duplicate inductor name")
+				}
+				inductorByName[key] = n.AddL(card, fields[1], fields[2], v)
+			}
+		case "K":
+			if len(fields) != 4 {
+				return fail("want NAME Lxxx Lyyy k, got %d fields", len(fields))
+			}
+			la, okA := inductorByName[strings.ToLower(fields[1])]
+			lb, okB := inductorByName[strings.ToLower(fields[2])]
+			if !okA || !okB {
+				return fail("references unknown inductor")
+			}
+			if la == lb {
+				return fail("couples an inductor to itself")
+			}
+			k, err := parseValue(fields[3])
+			if err != nil {
+				return fail("%v", err)
+			}
+			if k < -1 || k > 1 {
+				return fail("coupling coefficient %g outside [-1, 1]", k)
+			}
+			m := k * math.Sqrt(n.Inductors[la].L*n.Inductors[lb].L)
+			n.AddM(card, la, lb, m)
+		case "V", "I":
+			if len(fields) < 4 {
+				return fail("want NAME node node spec")
+			}
+			w, err := parseWave(fields[3:])
+			if err != nil {
+				return fail("%v", err)
+			}
+			if head == "V" {
+				n.AddV(card, fields[1], fields[2], w)
+			} else {
+				n.AddI(card, fields[1], fields[2], w)
+			}
+		case "M":
+			if len(fields) != 6 {
+				return fail("want NAME nd ng ns nb model, got %d fields", len(fields))
+			}
+			pending = append(pending, pendingMOS{
+				lineNo: ln.no, name: card,
+				d: fields[1], g: fields[2], s: fields[3], model: fields[5],
+			})
+		default:
+			return fail("unknown card type %q", head)
+		}
+	}
+done:
+	for _, pm := range pending {
+		m, ok := models[strings.ToLower(pm.model)]
+		if !ok {
+			return nil, fmt.Errorf("circuit: line %d: %s: references undeclared model %q", pm.lineNo, pm.name, pm.model)
+		}
+		if m.pmos {
+			n.AddPMOS(pm.name, pm.d, pm.g, pm.s, m.params)
+		} else {
+			n.AddNMOS(pm.name, pm.d, pm.g, pm.s, m.params)
+		}
+	}
+	return n, nil
+}
+
+// ParseSPICEString is ParseSPICE over an in-memory deck.
+func ParseSPICEString(deck string) (*Netlist, error) {
+	return ParseSPICE(strings.NewReader(deck))
+}
+
+type spiceLine struct {
+	no   int
+	text string
+}
+
+// logicalLines reads the deck, dropping '*' comments and blank lines
+// and folding '+' continuations into the preceding card.
+func logicalLines(r io.Reader) ([]spiceLine, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var out []spiceLine
+	no := 0
+	for sc.Scan() {
+		no++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		if strings.HasPrefix(line, "+") {
+			if len(out) == 0 {
+				return nil, fmt.Errorf("circuit: line %d: continuation with no preceding card", no)
+			}
+			out[len(out)-1].text += " " + strings.TrimSpace(line[1:])
+			continue
+		}
+		out = append(out, spiceLine{no: no, text: line})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("circuit: reading deck: %w", err)
+	}
+	return out, nil
+}
+
+// spiceSuffixes maps SPICE magnitude suffixes to multipliers; "meg"
+// must be checked before "m".
+var spiceSuffixes = []struct {
+	s string
+	m float64
+}{
+	{"meg", 1e6}, {"t", 1e12}, {"g", 1e9}, {"k", 1e3},
+	{"m", 1e-3}, {"u", 1e-6}, {"n", 1e-9}, {"p", 1e-12}, {"f", 1e-15},
+}
+
+// parseValue parses a SPICE number: a float with an optional magnitude
+// suffix (1k, 2.2u, 3meg). Non-finite values are rejected.
+func parseValue(s string) (float64, error) {
+	low := strings.ToLower(strings.TrimSpace(s))
+	mult := 1.0
+	for _, suf := range spiceSuffixes {
+		if strings.HasSuffix(low, suf.s) && len(low) > len(suf.s) {
+			low = low[:len(low)-len(suf.s)]
+			mult = suf.m
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(low, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	v *= mult
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
+}
+
+// parseWave parses a source specification: a bare number, DC <v>,
+// PULSE(v1 v2 td tr tf pw per), PWL(t0 v0 t1 v1 ...), SIN(off ampl
+// freq [delay]).
+func parseWave(fields []string) (Waveform, error) {
+	spec := strings.Join(fields, " ")
+	upper := strings.ToUpper(spec)
+	switch {
+	case strings.HasPrefix(upper, "DC"):
+		rest := strings.TrimSpace(spec[2:])
+		v, err := parseValue(rest)
+		if err != nil {
+			return nil, err
+		}
+		return DC(v), nil
+	case strings.HasPrefix(upper, "PULSE"):
+		args, err := parenArgs(spec[5:], 2, 7)
+		if err != nil {
+			return nil, fmt.Errorf("PULSE: %w", err)
+		}
+		for len(args) < 7 {
+			args = append(args, 0)
+		}
+		p := Pulse{V1: args[0], V2: args[1], Delay: args[2], Rise: args[3],
+			Fall: args[4], Width: args[5], Period: args[6]}
+		if p.Rise < 0 || p.Fall < 0 || p.Width < 0 || p.Period < 0 || p.Delay < 0 {
+			return nil, fmt.Errorf("PULSE: negative timing parameter")
+		}
+		return p, nil
+	case strings.HasPrefix(upper, "PWL"):
+		args, err := parenArgs(spec[3:], 2, 2*maxPWLPoints)
+		if err != nil {
+			return nil, fmt.Errorf("PWL: %w", err)
+		}
+		if len(args)%2 != 0 {
+			return nil, fmt.Errorf("PWL: odd number of values (want t v pairs)")
+		}
+		times := make([]float64, 0, len(args)/2)
+		values := make([]float64, 0, len(args)/2)
+		for i := 0; i < len(args); i += 2 {
+			times = append(times, args[i])
+			values = append(values, args[i+1])
+		}
+		if !sort.Float64sAreSorted(times) {
+			return nil, fmt.Errorf("PWL: times not non-decreasing")
+		}
+		return PWL{Times: times, Values: values}, nil
+	case strings.HasPrefix(upper, "SIN"):
+		args, err := parenArgs(spec[3:], 3, 4)
+		if err != nil {
+			return nil, fmt.Errorf("SIN: %w", err)
+		}
+		s := Sine{Offset: args[0], Amplitude: args[1], Freq: args[2]}
+		if len(args) > 3 {
+			s.Delay = args[3]
+		}
+		return s, nil
+	default:
+		v, err := parseValue(spec)
+		if err != nil {
+			return nil, fmt.Errorf("unrecognized source spec %q", spec)
+		}
+		return DC(v), nil
+	}
+}
+
+// maxPWLPoints bounds PWL breakpoint counts so hostile decks cannot
+// demand unbounded memory per line.
+const maxPWLPoints = 1 << 16
+
+// parenArgs parses "( a b c )" (parentheses optional) into minArgs..
+// maxArgs numbers.
+func parenArgs(s string, minArgs, maxArgs int) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	fields := strings.Fields(strings.ReplaceAll(s, ",", " "))
+	if len(fields) < minArgs || len(fields) > maxArgs {
+		return nil, fmt.Errorf("want %d..%d arguments, got %d", minArgs, maxArgs, len(fields))
+	}
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := parseValue(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+type spiceModel struct {
+	pmos   bool
+	params MOSParams
+}
+
+// parseModel parses ".model name NMOS|PMOS (LEVEL=1 VTO=x KP=y
+// LAMBDA=z)"; parentheses are optional and parameters may come in any
+// order.
+func parseModel(fields []string) (string, spiceModel, error) {
+	if len(fields) < 3 {
+		return "", spiceModel{}, fmt.Errorf("want .model name NMOS|PMOS params")
+	}
+	name := fields[1]
+	var m spiceModel
+	switch strings.ToUpper(fields[2]) {
+	case "NMOS":
+	case "PMOS":
+		m.pmos = true
+	default:
+		return "", spiceModel{}, fmt.Errorf("unknown model kind %q", fields[2])
+	}
+	for _, f := range fields[3:] {
+		f = strings.Trim(f, "()")
+		if f == "" {
+			continue
+		}
+		eq := strings.IndexByte(f, '=')
+		if eq < 0 {
+			return "", spiceModel{}, fmt.Errorf("bad model parameter %q", f)
+		}
+		key := strings.ToUpper(f[:eq])
+		v, err := parseValue(f[eq+1:])
+		if err != nil {
+			return "", spiceModel{}, fmt.Errorf("model parameter %s: %v", key, err)
+		}
+		switch key {
+		case "LEVEL":
+			if v != 1 {
+				return "", spiceModel{}, fmt.Errorf("only LEVEL=1 models are supported")
+			}
+		case "VTO":
+			// The netlist convention keeps VT positive for both device
+			// polarities; SPICE writes the PMOS threshold negated.
+			if m.pmos {
+				v = -v
+			}
+			m.params.VT = v
+		case "KP":
+			m.params.K = v
+		case "LAMBDA":
+			m.params.Lambda = v
+		default:
+			return "", spiceModel{}, fmt.Errorf("unknown model parameter %q", key)
+		}
+	}
+	if m.params.K <= 0 {
+		return "", spiceModel{}, fmt.Errorf("model needs KP > 0")
+	}
+	if m.params.Lambda < 0 {
+		return "", spiceModel{}, fmt.Errorf("model needs LAMBDA >= 0")
+	}
+	return name, m, nil
+}

@@ -82,3 +82,40 @@ func BuildSparseDC(n *Netlist, t0, gmin, stiff float64) (*matrix.Triplet, []floa
 	}
 	return g, b, nil
 }
+
+// SparseMNA is the sparse twin of MNA: the same C dx/dt + G x = b(t)
+// system held as triplet builders instead of dense matrices, assembled
+// by the same stamping walk so every accumulated value is bit-identical
+// to the dense build.
+type SparseMNA struct {
+	N    *Netlist
+	G    *matrix.Triplet
+	C    *matrix.Triplet
+	size int
+	// dense shim reused for the RHS helpers, which only read N and size.
+	rhs *MNA
+}
+
+// BuildSparse assembles the sparse MNA matrices for the netlist's
+// linear elements. MOSFETs are not stamped here, same as Build.
+func BuildSparse(n *Netlist) *SparseMNA {
+	size := n.Size()
+	m := &SparseMNA{
+		N:    n,
+		G:    matrix.NewTriplet(size, size),
+		C:    matrix.NewTriplet(size, size),
+		size: size,
+		rhs:  &MNA{N: n, size: size},
+	}
+	stampLinear(n, m.G.Add, m.C.Add, kMembers(n))
+	return m
+}
+
+// Size returns the MNA system dimension.
+func (m *SparseMNA) Size() int { return m.size }
+
+// RHS fills b with the independent-source vector at time t.
+func (m *SparseMNA) RHS(t float64, b []float64) { m.rhs.RHS(t, b) }
+
+// AddRHS accumulates the independent-source vector at time t into b.
+func (m *SparseMNA) AddRHS(t float64, b []float64) { m.rhs.AddRHS(t, b) }

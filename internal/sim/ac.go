@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sort"
 
 	"inductance101/internal/circuit"
 	"inductance101/internal/matrix"
@@ -18,50 +19,110 @@ type ACStimulus struct {
 	ISourceAmps map[int]complex128 // ISource index -> amplitude
 }
 
+// acGmin is the floating-node conductance added to every node's
+// diagonal in AC analysis.
+const acGmin = 1e-12
+
 // acEntry is one structurally nonzero position of the MNA pencil
 // (G, C); the complex system matrix at any frequency is assembled from
-// these without rescanning the dense G and C.
+// these without rescanning any matrix.
 type acEntry struct {
 	i, j int
 	g, c float64
 }
 
-// acPattern caches the sparsity structure of an MNA system so a
-// frequency sweep pays the O(size^2) G/C scan once instead of once per
-// point.
+// acPattern caches the union sparsity structure of an MNA pencil so a
+// frequency sweep pays the pattern extraction once instead of once per
+// point. The build walks the netlist stamps (O(nnz log nnz)); the old
+// dense G/C scan, O(size^2) per sweep, is gone. Large systems carry the
+// CSC skeleton of the same entries plus a symbolic factorization shared
+// by every frequency point; small systems keep the dense complex solve.
 type acPattern struct {
 	size    int
-	nn      int // number of nodes (gmin targets)
-	entries []acEntry
+	nn      int       // number of nodes (gmin targets)
+	entries []acEntry // row-major; gmin not folded in (dense path adds it)
+	// Sparse skeleton: the same entries column-major as a CCSC pattern
+	// with per-position G and C values; gv has acGmin folded into the
+	// node diagonals.
+	cpat   *matrix.CCSC
+	gv, cv []float64
+	// base is the symbolic-donor factorization shared across a sweep;
+	// prime() fills it deterministically before any parallel solves.
+	base *matrix.SparseCLU
 }
 
-func buildACPattern(m *circuit.MNA) *acPattern {
-	size := m.Size()
-	p := &acPattern{size: size, nn: m.N.NumNodes()}
-	for i := 0; i < size; i++ {
-		for j := 0; j < size; j++ {
-			g := m.G.At(i, j)
-			c := m.C.At(i, j)
-			if g != 0 || c != 0 {
-				p.entries = append(p.entries, acEntry{i: i, j: j, g: g, c: c})
-			}
+func buildACPattern(m *circuit.MNA) *acPattern { return acPatternFromNetlist(m.N) }
+
+func acPatternFromNetlist(n *circuit.Netlist) *acPattern {
+	sm := circuit.BuildSparse(n)
+	size := sm.Size()
+	nn := n.NumNodes()
+	type gc struct{ g, c float64 }
+	uni := make(map[[2]int]gc, sm.G.NNZ()+sm.C.NNZ())
+	sm.G.Each(func(i, j int, v float64) {
+		e := uni[[2]int{i, j}]
+		e.g = v
+		uni[[2]int{i, j}] = e
+	})
+	sm.C.Each(func(i, j int, v float64) {
+		e := uni[[2]int{i, j}]
+		e.c = v
+		uni[[2]int{i, j}] = e
+	})
+	// The gmin diagonals must exist structurally for the sparse path.
+	for i := 0; i < nn; i++ {
+		if _, ok := uni[[2]int{i, i}]; !ok {
+			uni[[2]int{i, i}] = gc{}
 		}
 	}
+	p := &acPattern{size: size, nn: nn}
+	p.entries = make([]acEntry, 0, len(uni))
+	for k, e := range uni {
+		p.entries = append(p.entries, acEntry{i: k[0], j: k[1], g: e.g, c: e.c})
+	}
+	sort.Slice(p.entries, func(a, b int) bool {
+		if p.entries[a].i != p.entries[b].i {
+			return p.entries[a].i < p.entries[b].i
+		}
+		return p.entries[a].j < p.entries[b].j
+	})
+
+	// Column-major copy as the CSC skeleton for the sparse path.
+	idx := make([]int, len(p.entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ea, eb := p.entries[idx[a]], p.entries[idx[b]]
+		if ea.j != eb.j {
+			return ea.j < eb.j
+		}
+		return ea.i < eb.i
+	})
+	colPtr := make([]int, size+1)
+	rowIdx := make([]int, len(idx))
+	p.gv = make([]float64, len(idx))
+	p.cv = make([]float64, len(idx))
+	for pos, id := range idx {
+		e := p.entries[id]
+		colPtr[e.j+1]++
+		rowIdx[pos] = e.i
+		g := e.g
+		if e.i == e.j && e.i < nn {
+			g += acGmin
+		}
+		p.gv[pos] = g
+		p.cv[pos] = e.c
+	}
+	for j := 0; j < size; j++ {
+		colPtr[j+1] += colPtr[j]
+	}
+	p.cpat = matrix.CSCFromParts(size, size, colPtr, rowIdx, make([]complex128, len(idx)))
 	return p
 }
 
-// solve assembles (G + jωC) from the pattern — entries in the same
-// row-major order as the direct scan, so the matrix and the solution
-// are identical — and solves for the given stimulus.
-func (p *acPattern) solve(n *circuit.Netlist, omega float64, stim ACStimulus) ([]complex128, error) {
-	a := matrix.NewCDense(p.size, p.size)
-	for _, e := range p.entries {
-		a.Set(e.i, e.j, complex(e.g, omega*e.c))
-	}
-	// gmin for floating nodes.
-	for i := 0; i < p.nn; i++ {
-		a.Add(i, i, 1e-12)
-	}
+// rhs builds the complex stimulus vector.
+func (p *acPattern) rhs(n *circuit.Netlist, stim ACStimulus) []complex128 {
 	b := make([]complex128, p.size)
 	for vi, amp := range stim.VSourceAmps {
 		b[p.nn+n.VSources[vi].Branch] += amp
@@ -75,7 +136,72 @@ func (p *acPattern) solve(n *circuit.Netlist, omega float64, stim ACStimulus) ([
 			b[s.B] += amp
 		}
 	}
-	return matrix.SolveComplex(a, b)
+	return b
+}
+
+// assemble fills a value slice with G + jωC over the CSC skeleton.
+func (p *acPattern) assemble(omega float64) *matrix.CCSC {
+	vals := make([]complex128, len(p.gv))
+	for k := range vals {
+		vals[k] = complex(p.gv[k], omega*p.cv[k])
+	}
+	return p.cpat.WithValues(vals)
+}
+
+// prime factors the base symbolic pattern at the given frequency. Call
+// it once, serially, before fanning a sweep out — every subsequent
+// point refactors numerically over this pattern, so results do not
+// depend on which point happens to run first.
+func (p *acPattern) prime(omega float64) error {
+	if p.size < sparseThreshold || p.base != nil {
+		return nil
+	}
+	f, err := matrix.FactorSparseCLU(p.assemble(omega))
+	if err != nil {
+		return err
+	}
+	p.base = f
+	return nil
+}
+
+// solve assembles (G + jωC) and solves for the given stimulus. Systems
+// at or above the sparse threshold go through the sparse LU, reusing
+// the primed symbolic pattern when present; smaller systems assemble a
+// CDense — entries in the same accumulation order as the dense MNA
+// build, so the matrix and the solution are identical to the historical
+// dense scan.
+func (p *acPattern) solve(n *circuit.Netlist, omega float64, stim ACStimulus) ([]complex128, error) {
+	if p.size >= sparseThreshold {
+		return p.solveSparse(n, omega, stim)
+	}
+	a := matrix.NewCDense(p.size, p.size)
+	for _, e := range p.entries {
+		a.Set(e.i, e.j, complex(e.g, omega*e.c))
+	}
+	// gmin for floating nodes.
+	for i := 0; i < p.nn; i++ {
+		a.Add(i, i, acGmin)
+	}
+	return matrix.SolveComplex(a, p.rhs(n, stim))
+}
+
+func (p *acPattern) solveSparse(n *circuit.Netlist, omega float64, stim ACStimulus) ([]complex128, error) {
+	a := p.assemble(omega)
+	var f *matrix.SparseCLU
+	if p.base != nil {
+		cand := p.base.NewNumeric()
+		if err := cand.Refactor(a); err == nil {
+			f = cand
+		}
+	}
+	if f == nil {
+		fresh, err := matrix.FactorSparseCLU(a)
+		if err != nil {
+			return nil, err
+		}
+		f = fresh
+	}
+	return f.Solve(p.rhs(n, stim))
 }
 
 // AC solves the complex MNA system (G + jωC) X = B at angular frequency
@@ -111,11 +237,13 @@ func ACSweep(n *circuit.Netlist, probe string, stim ACStimulus, fStart, fStop fl
 	if err != nil {
 		return nil, err
 	}
-	m := circuit.Build(n)
-	if len(m.N.MOSFETs) != 0 {
+	if len(n.MOSFETs) != 0 {
 		return nil, fmt.Errorf("sim: AC analysis of nonlinear netlists is not supported (linearize first)")
 	}
-	pat := buildACPattern(m)
+	pat := acPatternFromNetlist(n)
+	if err := pat.prime(2 * math.Pi * fStart); err != nil {
+		return nil, fmt.Errorf("sim: AC at %g Hz: %w", fStart, err)
+	}
 	decades := math.Log10(fStop / fStart)
 	nPts := int(decades*float64(pointsPerDecade)) + 1
 	out := make([]ACPoint, nPts+1)
@@ -123,7 +251,7 @@ func ACSweep(n *circuit.Netlist, probe string, stim ACStimulus, fStart, fStop fl
 	matrix.ParallelRange(nPts+1, 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			f := fStart * math.Pow(10, decades*float64(k)/float64(nPts))
-			x, err := pat.solve(m.N, 2*math.Pi*f, stim)
+			x, err := pat.solve(n, 2*math.Pi*f, stim)
 			if err != nil {
 				errs[k] = fmt.Errorf("sim: AC at %g Hz: %w", f, err)
 				return

@@ -150,6 +150,9 @@ func TranAdaptive(n *circuit.Netlist, opt AdaptiveOptions) (*TranResult, error) 
 	if err := opt.setDefaults(); err != nil {
 		return nil, err
 	}
+	if useSparsePath(n) {
+		return tranAdaptiveSparse(n, opt)
+	}
 	m := circuit.Build(n)
 	x0, err := OP(m, 0, TranOptions{MaxNewton: opt.MaxNewton, NewtonTol: opt.NewtonTol, Gmin: opt.Gmin})
 	if err != nil {

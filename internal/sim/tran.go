@@ -13,6 +13,9 @@ func Tran(n *circuit.Netlist, opt TranOptions) (*TranResult, error) {
 	if err := opt.setDefaults(); err != nil {
 		return nil, err
 	}
+	if useSparsePath(n) {
+		return tranSparse(n, opt)
+	}
 	m := circuit.Build(n)
 	x0, err := OP(m, 0, opt)
 	if err != nil {

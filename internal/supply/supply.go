@@ -41,6 +41,11 @@ type Spec struct {
 	Bursts     []Burst
 	TStop      float64
 	TStep      float64
+	// IRSolver picks the static-reference solve: "dense" (default, the
+	// dense LU on the full MNA), "cg" (sparse conjugate gradients), or
+	// "chol" (sparse direct Cholesky). The sparse choices route through
+	// circuit.BuildSparseDC and scale to grids far beyond dense reach.
+	IRSolver string
 }
 
 // DefaultSpec gives a 4x4 grid with a single centre burst.
@@ -136,7 +141,16 @@ func Analyze(spec Spec) (*Report, error) {
 		vddN, gndN := mS.NearestGridNodes(bu.X, bu.Y)
 		nS.AddI(fmt.Sprintf("dc%d", k), vddN, gndN, circuit.DC(bu.Peak))
 	}
-	rep.StaticIR, err = grid.IRDropDC(mS, nS, spec.Vdd)
+	switch spec.IRSolver {
+	case "", "dense":
+		rep.StaticIR, err = grid.IRDropDC(mS, nS, spec.Vdd)
+	case "cg":
+		rep.StaticIR, err = grid.IRDropDCSparse(mS, nS, spec.Vdd)
+	case "chol":
+		rep.StaticIR, err = grid.IRDropDCSparseChol(mS, nS, spec.Vdd)
+	default:
+		return nil, fmt.Errorf("supply: unknown IR solver %q (want dense, cg or chol)", spec.IRSolver)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("supply: static reference: %w", err)
 	}

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerate BENCH_sparse.json: the sparse direct solver (Cholesky, CG,
+# LU) against the dense kernels on a gridnoise-scale power grid. The
+# dense static-IR solve takes a while at this size; that is the point.
+set -e
+cd "$(dirname "$0")/.."
+BENCH_SPARSE=1 go test -run TestBenchSparseSnapshot -v -timeout 30m . "$@"

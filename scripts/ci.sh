@@ -1,0 +1,28 @@
+#!/bin/sh
+# Full verification gate: build, tests (including the golden-file suite
+# and property tests), vet, formatting, and the race detector over the
+# concurrency-bearing packages. Run from anywhere in the repo.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go test (unit + golden + property)"
+go test ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== race detector (matrix, extract, sim)"
+go test -race ./internal/matrix ./internal/extract ./internal/sim
+
+echo "CI OK"
