@@ -1,0 +1,233 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"inductance101/internal/extract"
+	"inductance101/internal/geom"
+	"inductance101/internal/grid"
+	"inductance101/internal/matrix"
+)
+
+// benchBus64 builds the paper-scale regular bus the extraction bench
+// runs on: 64 parallel lines at minimum pitch, each split into four
+// sections (the distributed-RLC discretization the simulation flows
+// use), 256 segments in all.
+func benchBus64() (*geom.Layout, []int) {
+	lay := geom.NewLayout([]geom.Layer{
+		{Name: "M6", Z: 6e-6, Thickness: 1.2e-6, SheetRho: 0.018, HBelow: 1.1e-6},
+	})
+	const (
+		nWires   = 64
+		sections = 4
+		length   = 2e-3
+		width    = 1e-6
+		pitch    = 1.5e-6 // 0.5 um spacing: minimum-pitch global bus
+	)
+	segLen := length / sections
+	var segs []int
+	for w := 0; w < nWires; w++ {
+		for k := 0; k < sections; k++ {
+			segs = append(segs, lay.AddSegment(geom.Segment{
+				Layer: 0, Dir: geom.DirX,
+				X0: float64(k) * segLen, Y0: float64(w) * pitch,
+				Length: segLen, Width: width,
+				Net:   fmt.Sprintf("w%d", w),
+				NodeA: fmt.Sprintf("w%d_n%d", w, k),
+				NodeB: fmt.Sprintf("w%d_n%d", w, k+1),
+			}))
+		}
+	}
+	return lay, segs
+}
+
+// bruteForceWindowed is the pre-spatial-index windowed assembly: an
+// all-pairs scan that tests every pair against the window. Kept here as
+// the benchmark baseline the indexed path is measured against.
+func bruteForceWindowed(l *geom.Layout, segs []int, window float64, opt extract.GMDOptions) *matrix.Dense {
+	n := len(segs)
+	m := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		si := &l.Segments[segs[i]]
+		th := l.Layers[si.Layer].Thickness
+		m.Set(i, i, extract.SelfInductanceBar(si.Length, si.Width, th))
+		for j := i + 1; j < n; j++ {
+			sj := &l.Segments[segs[j]]
+			pg, ok := l.Parallel(segs[i], segs[j])
+			if !ok || pg.D > window {
+				continue
+			}
+			tj := l.Layers[sj.Layer].Thickness
+			v := extract.MutualBars(pg, si.Width, th, sj.Width, tj, opt)
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// TestBenchExtractSnapshot measures the geometry-keyed kernel cache and
+// the spatial-index candidate search on the two paper-scale structures
+// (a 64-line minimum-pitch bus, a 2400-segment power grid) and writes
+// BENCH_extract.json. Only runs when BENCH_EXTRACT=1; regenerate with
+// scripts/bench_extract.sh.
+func TestBenchExtractSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_EXTRACT") == "" {
+		t.Skip("set BENCH_EXTRACT=1 to write BENCH_extract.json")
+	}
+
+	type entry struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+		Speedup float64 `json:"speedup,omitempty"`
+	}
+	var entries []entry
+	measure := func(name string, fn func()) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		entries = append(entries, entry{Name: name, NsPerOp: ns})
+		t.Logf("%-36s %14.0f ns/op", name, ns)
+		return ns
+	}
+	speedupVs := func(refNs float64) {
+		entries[len(entries)-1].Speedup = refNs / entries[len(entries)-1].NsPerOp
+	}
+
+	defer func() {
+		extract.SetKernelCache(true)
+		extract.ResetKernelCache()
+	}()
+
+	// 1. The 64-line bus: full dense partial-inductance matrix with
+	// numeric cross-section GMD (the accurate near-field setting a
+	// minimum-pitch bus requires). Every pair is a translate of one of a
+	// few hundred relative geometries, the cache's home turf.
+	bus, busSegs := benchBus64()
+	gmd := extract.GMDOptions{Numeric: true}
+	extract.SetKernelCache(false)
+	busOff := measure("bus64_inductance_nocache", func() {
+		bruteForceWindowed(bus, busSegs, math.Inf(1), gmd)
+	})
+	extract.SetKernelCache(true)
+	measure("bus64_inductance_cache_cold", func() {
+		extract.ResetKernelCache()
+		extract.InductanceMatrix(bus, busSegs, math.Inf(1), gmd)
+	})
+	speedupVs(busOff)
+	coldStats := extract.KernelCacheStats()
+	measure("bus64_inductance_cache_warm", func() {
+		extract.InductanceMatrix(bus, busSegs, math.Inf(1), gmd)
+	})
+	speedupVs(busOff)
+
+	// 2. A 2400-segment interleaved power grid, window-limited to one
+	// pitch (the bench_sparse setup): first the old all-pairs windowed
+	// scan, then the spatial-index candidate path, then index + cache.
+	spec := grid.DefaultSpec()
+	spec.NX, spec.NY = 25, 25
+	gm, err := grid.BuildPowerGrid(grid.StandardLayers(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridSegs := make([]int, len(gm.Layout.Segments))
+	for i := range gridSegs {
+		gridSegs[i] = i
+	}
+	t.Logf("grid: %d segments", len(gridSegs))
+
+	// Pair search alone (no kernel evaluations), isolating the
+	// O(n^2) -> O(n*k) effect of the spatial index on the windowed
+	// interaction-list build.
+	var pairSink int
+	bruteScan := measure("grid2400_pairscan_bruteforce", func() {
+		n := 0
+		for i := 0; i < len(gridSegs); i++ {
+			for j := i + 1; j < len(gridSegs); j++ {
+				if pg, ok := gm.Layout.Parallel(gridSegs[i], gridSegs[j]); ok && pg.D <= spec.Pitch {
+					n++
+				}
+			}
+		}
+		pairSink = n
+	})
+	measure("grid2400_pairscan_indexed", func() {
+		idx := geom.NewIndex(gm.Layout, 0)
+		n := 0
+		for _, si := range gridSegs {
+			for _, c := range idx.ParallelCandidates(si, spec.Pitch) {
+				if c <= si {
+					continue
+				}
+				if pg, ok := gm.Layout.Parallel(si, c); ok && pg.D <= spec.Pitch {
+					n++
+				}
+			}
+		}
+		if n != pairSink {
+			t.Fatalf("indexed pair scan found %d pairs, brute force %d", n, pairSink)
+		}
+	})
+	speedupVs(bruteScan)
+
+	extract.SetKernelCache(false)
+	gridBrute := measure("grid2400_windowed_bruteforce", func() {
+		bruteForceWindowed(gm.Layout, gridSegs, spec.Pitch, extract.GMDOptions{})
+	})
+	measure("grid2400_windowed_indexed", func() {
+		extract.InductanceMatrix(gm.Layout, gridSegs, spec.Pitch, extract.GMDOptions{})
+	})
+	speedupVs(gridBrute)
+	extract.SetKernelCache(true)
+	measure("grid2400_windowed_indexed_cache", func() {
+		extract.ResetKernelCache()
+		extract.InductanceMatrix(gm.Layout, gridSegs, spec.Pitch, extract.GMDOptions{})
+	})
+	speedupVs(gridBrute)
+
+	// Sanity: the bench must measure the configuration it claims.
+	var busEntry, warmEntry entry
+	for _, e := range entries {
+		switch e.Name {
+		case "bus64_inductance_cache_cold":
+			busEntry = e
+		case "bus64_inductance_cache_warm":
+			warmEntry = e
+		}
+	}
+	if busEntry.Speedup < 5 {
+		t.Errorf("cache speedup on the 64-line bus is %.1fx, want >= 5x", busEntry.Speedup)
+	}
+	_ = warmEntry
+
+	out, err := json.MarshalIndent(struct {
+		Note    string  `json:"note"`
+		Workers int     `json:"workers"`
+		Cache   any     `json:"bus64_cold_cache_stats"`
+		Entries []entry `json:"extraction"`
+	}{
+		Note:    "extraction timing snapshot (kernel cache + spatial index); regenerate with scripts/bench_extract.sh",
+		Workers: matrix.Workers(),
+		Cache: map[string]any{
+			"hits":     coldStats.Hits,
+			"misses":   coldStats.Misses,
+			"hit_rate": coldStats.HitRate(),
+			"entries":  coldStats.Entries,
+		},
+		Entries: entries,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_extract.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_extract.json")
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	inductx [-l matrix|summary] [-c] [-window 0] layout.json
+//	inductx [-l matrix|summary] [-c] [-window 0] [-kernelcache on|off] [-v] layout.json
 //	inductx -sample          # print a sample layout document
 package main
 
@@ -25,13 +25,22 @@ import (
 
 func main() {
 	var (
-		lMode  = flag.String("l", "summary", "inductance output: matrix | summary | none")
-		caps   = flag.Bool("c", true, "extract capacitances")
-		window = flag.Float64("window", 0, "mutual inductance window in metres (0 = unlimited)")
-		sample = flag.Bool("sample", false, "print a sample layout JSON and exit")
-		spice  = flag.String("spice", "", "also write the stamped PEEC netlist as a SPICE deck to this file")
+		lMode   = flag.String("l", "summary", "inductance output: matrix | summary | none")
+		caps    = flag.Bool("c", true, "extract capacitances")
+		window  = flag.Float64("window", 0, "mutual inductance window in metres (0 = unlimited)")
+		sample  = flag.Bool("sample", false, "print a sample layout JSON and exit")
+		spice   = flag.String("spice", "", "also write the stamped PEEC netlist as a SPICE deck to this file")
+		kcache  = flag.String("kernelcache", "on", "geometry-keyed kernel cache: on | off (results are bit-identical either way)")
+		verbose = flag.Bool("v", false, "print extraction diagnostics (kernel cache hit/miss counters)")
 	)
 	flag.Parse()
+	switch *kcache {
+	case "on":
+	case "off":
+		extract.SetKernelCache(false)
+	default:
+		fatal(fmt.Errorf("-kernelcache must be on or off, got %q", *kcache))
+	}
 
 	if *sample {
 		printSample()
@@ -59,6 +68,15 @@ func main() {
 	st := par.Stats()
 	fmt.Printf("extracted %d segments: %d R, %d self L, %d mutuals, %d ground caps, %d coupling caps\n",
 		len(par.Segs), st.NumR, st.NumL, st.NumMutual, st.NumCGround, st.NumCCouple)
+	if *verbose {
+		cs := extract.KernelCacheStats()
+		if cs.Enabled {
+			fmt.Printf("kernel cache: %d hits, %d misses (%.1f%% hit rate), %d entries\n",
+				cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Entries)
+		} else {
+			fmt.Println("kernel cache: off")
+		}
+	}
 
 	fmt.Println("\nper-segment R and self L:")
 	for i, si := range par.Segs {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	rlsweep [-length 2e-3] [-width 8e-6] [-pitch 20e-6]
-//	        [-fstart 1e8] [-fstop 2e10] [-points 13] [-fit]
+//	        [-fstart 1e8] [-fstop 2e10] [-points 13] [-fit] [-kernelcache on|off]
 //	rlsweep -layout l.json -plus s0 -minus g0 -short s1=g1 [-short a=b ...]
 package main
 
@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"inductance101/internal/extract"
 	"inductance101/internal/fasthenry"
 	"inductance101/internal/geom"
 	"inductance101/internal/layoutio"
@@ -49,10 +50,18 @@ func main() {
 		layout = flag.String("layout", "", "layout JSON file (instead of builtin structure)")
 		plus   = flag.String("plus", "", "port plus node (with -layout)")
 		minus  = flag.String("minus", "", "port minus node (with -layout)")
+		kcache = flag.String("kernelcache", "on", "geometry-keyed kernel cache for filament assembly: on | off (bit-identical either way)")
 		shorts shortList
 	)
 	flag.Var(&shorts, "short", "short two nodes, nodeA=nodeB (repeatable; with -layout)")
 	flag.Parse()
+	switch *kcache {
+	case "on":
+	case "off":
+		extract.SetKernelCache(false)
+	default:
+		fatal(fmt.Errorf("-kernelcache must be on or off, got %q", *kcache))
+	}
 
 	var (
 		lay  *geom.Layout

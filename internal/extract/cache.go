@@ -1,0 +1,259 @@
+package extract
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"inductance101/internal/geom"
+)
+
+// Geometry-keyed kernel cache.
+//
+// On the regular structures the paper's experiments run on (buses,
+// power grids, H-trees) most parallel segment pairs are translates of a
+// handful of unique relative geometries: the mutual-inductance and
+// coupling-capacitance kernels depend only on lengths, cross-sections
+// and relative offsets, never on absolute position. The cache
+// canonicalizes each kernel evaluation into a translation-invariant key
+// and memoizes the exact computed value in a sharded, lock-striped
+// concurrent map, so repeated geometries are evaluated once per process
+// instead of once per pair.
+//
+// Exactness: the key is the full IEEE-754 bit pattern of every kernel
+// input (quantization at full float64 resolution — the finest grid that
+// cannot merge two distinct geometries). Two pairs share a cache entry
+// only when the kernel would receive bit-identical arguments, and the
+// stored value is the kernel's exact output, so cached and uncached
+// extraction results are bit-identical. Layouts generated on a layout
+// grid (coordinates that are integer multiples of a pitch) produce
+// bit-identical coordinate differences for translated pairs, which is
+// what makes the hit rate high in practice. A coarser key quantum would
+// raise the hit rate further but break exactness, so it is deliberately
+// not offered.
+
+// cacheShards is the number of lock stripes; a power of two so shard
+// selection is a mask. 64 stripes keep contention negligible at any
+// realistic GOMAXPROCS.
+const cacheShards = 64
+
+// kernelKind discriminates the memoized kernel families sharing one map.
+type kernelKind uint8
+
+const (
+	kindSelfBar kernelKind = iota + 1
+	kindMutualFilaments
+	kindMutualBars
+	kindCouplingCapPerLen
+)
+
+// kernelKey is the canonical, translation-invariant identity of one
+// kernel evaluation: the kind plus the raw bit patterns of up to nine
+// float64 arguments (unused slots stay zero). Comparable, so it can key
+// a Go map directly.
+type kernelKey struct {
+	kind kernelKind
+	p    [9]uint64
+}
+
+// fbits returns the canonical bit pattern of v for keying: -0.0 is
+// folded into +0.0 (the kernels cannot distinguish them).
+func fbits(v float64) uint64 {
+	if v == 0 {
+		v = 0
+	}
+	return math.Float64bits(v)
+}
+
+// shard hashes the key FNV-1a style onto a stripe.
+func (k kernelKey) shard() int {
+	h := uint64(k.kind) ^ 0xcbf29ce484222325
+	for _, v := range k.p {
+		h ^= v
+		h *= 0x100000001b3
+	}
+	// Fold the high bits in so shard choice sees the whole hash.
+	return int((h ^ h>>32) & (cacheShards - 1))
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[kernelKey]float64
+}
+
+// KernelCache is a sharded memo table for the pure geometry kernels.
+// The zero value is ready to use. All methods are safe for concurrent
+// use; two goroutines racing on the same missing key both compute the
+// (deterministic) value and store identical results.
+type KernelCache struct {
+	shards [cacheShards]cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// getOrCompute returns the cached value for k, computing and storing it
+// on a miss.
+func (c *KernelCache) getOrCompute(k kernelKey, compute func() float64) float64 {
+	sh := &c.shards[k.shard()]
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return v
+	}
+	c.misses.Add(1)
+	v = compute()
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[kernelKey]float64)
+	}
+	sh.m[k] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// reset drops every entry and zeroes the counters.
+func (c *KernelCache) reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = nil
+		sh.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// entries counts the stored values across shards.
+func (c *KernelCache) entries() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// The process-wide cache the extraction paths consult. On by default;
+// the CLIs expose -kernelcache=off as an escape hatch (and the
+// equivalence tests flip it to prove bit-identity).
+var (
+	defaultCache  KernelCache
+	cacheDisabled atomic.Bool // zero value = enabled
+)
+
+// SetKernelCache enables or disables the process-wide kernel cache.
+// Disabling does not drop stored entries (re-enabling resumes hits);
+// use ResetKernelCache to free them.
+func SetKernelCache(on bool) {
+	cacheDisabled.Store(!on)
+}
+
+// KernelCacheEnabled reports whether the process-wide cache is active.
+func KernelCacheEnabled() bool { return !cacheDisabled.Load() }
+
+// ResetKernelCache drops every memoized kernel value and zeroes the
+// hit/miss counters. Useful between benchmark runs and after processing
+// one layout when memory matters more than warm-start hits.
+func ResetKernelCache() {
+	defaultCache.reset()
+}
+
+// CacheStats is a snapshot of the kernel cache counters.
+type CacheStats struct {
+	Enabled bool
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	tot := s.Hits + s.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(tot)
+}
+
+// KernelCacheStats snapshots the process-wide cache counters.
+func KernelCacheStats() CacheStats {
+	return CacheStats{
+		Enabled: KernelCacheEnabled(),
+		Hits:    defaultCache.hits.Load(),
+		Misses:  defaultCache.misses.Load(),
+		Entries: defaultCache.entries(),
+	}
+}
+
+// SelfInductanceBarCached is SelfInductanceBar through the kernel
+// cache: bit-identical to the direct call, computed once per unique
+// (l, w, t).
+func SelfInductanceBarCached(l, w, t float64) float64 {
+	if cacheDisabled.Load() {
+		return SelfInductanceBar(l, w, t)
+	}
+	k := kernelKey{kind: kindSelfBar}
+	k.p[0], k.p[1], k.p[2] = fbits(l), fbits(w), fbits(t)
+	return defaultCache.getOrCompute(k, func() float64 {
+		return SelfInductanceBar(l, w, t)
+	})
+}
+
+// MutualFilamentsCached is MutualFilaments through the kernel cache —
+// the memo the FastHenry-style filament-matrix assembly uses, where a
+// regular discretization repeats the same relative filament geometry
+// thousands of times.
+func MutualFilamentsCached(la, lb, s, d float64) float64 {
+	if cacheDisabled.Load() {
+		return MutualFilaments(la, lb, s, d)
+	}
+	k := kernelKey{kind: kindMutualFilaments}
+	k.p[0], k.p[1], k.p[2], k.p[3] = fbits(la), fbits(lb), fbits(s), fbits(d)
+	return defaultCache.getOrCompute(k, func() float64 {
+		return MutualFilaments(la, lb, s, d)
+	})
+}
+
+// MutualBarsCached is MutualBars through the kernel cache. The key is
+// the pair's translation-invariant relative geometry (lengths,
+// longitudinal offset, perpendicular distance, both cross-sections)
+// plus the GMD options that steer the evaluation. GMDOptions.Order is
+// not part of the key because NumericGMD's quadrature order is fixed
+// (see the gauss6 tables); if it ever becomes configurable it must join
+// the key.
+func MutualBarsCached(pg geom.ParallelGeometry, wa, ta, wb, tb float64, opt GMDOptions) float64 {
+	if cacheDisabled.Load() {
+		return MutualBars(pg, wa, ta, wb, tb, opt)
+	}
+	k := kernelKey{kind: kindMutualBars}
+	k.p[0], k.p[1], k.p[2], k.p[3] = fbits(pg.La), fbits(pg.Lb), fbits(pg.S), fbits(pg.D)
+	k.p[4], k.p[5], k.p[6], k.p[7] = fbits(wa), fbits(ta), fbits(wb), fbits(tb)
+	if opt.Numeric {
+		ratio := opt.NumericRatio
+		if ratio <= 0 {
+			ratio = 3 // MutualBars' own default; canonicalize so 0 and 3 share entries
+		}
+		k.p[8] = fbits(ratio)
+	}
+	return defaultCache.getOrCompute(k, func() float64 {
+		return MutualBars(pg, wa, ta, wb, tb, opt)
+	})
+}
+
+// couplingCapPerLengthCached memoizes CouplingCapPerLength; the two
+// math.Pow calls dominate coupling-capacitance extraction on large
+// regular layouts.
+func couplingCapPerLengthCached(w, t, h, s float64) float64 {
+	if cacheDisabled.Load() {
+		return CouplingCapPerLength(w, t, h, s)
+	}
+	k := kernelKey{kind: kindCouplingCapPerLen}
+	k.p[0], k.p[1], k.p[2], k.p[3] = fbits(w), fbits(t), fbits(h), fbits(s)
+	return defaultCache.getOrCompute(k, func() float64 {
+		return CouplingCapPerLength(w, t, h, s)
+	})
+}

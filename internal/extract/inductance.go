@@ -15,6 +15,7 @@ package extract
 
 import (
 	"math"
+	"sort"
 
 	"inductance101/internal/geom"
 	"inductance101/internal/matrix"
@@ -170,26 +171,79 @@ func MutualBars(pg geom.ParallelGeometry, wa, ta, wb, tb float64, opt GMDOptions
 // pairs whose perpendicular distance is below window (use +Inf for the
 // full dense PEEC matrix). The result is symmetric with positive
 // diagonal.
+//
+// Kernel evaluations go through the process-wide geometry-keyed cache
+// (see cache.go): each unique relative pair geometry is computed once,
+// and every value is bit-identical to the uncached path. With a finite
+// window the candidate pairs come from a uniform-grid spatial index
+// instead of the all-pairs scan, making windowed assembly O(n·k) in the
+// neighbour count k.
 func InductanceMatrix(l *geom.Layout, segs []int, window float64, opt GMDOptions) *matrix.Dense {
 	n := len(segs)
 	m := matrix.NewDense(n, n)
+	pairs := pairCandidates(l, segs, window)
 	for i := 0; i < n; i++ {
-		si := &l.Segments[segs[i]]
-		t := l.Layers[si.Layer].Thickness
-		m.Set(i, i, SelfInductanceBar(si.Length, si.Width, t))
-		for j := i + 1; j < n; j++ {
-			sj := &l.Segments[segs[j]]
-			pg, ok := l.Parallel(segs[i], segs[j])
-			if !ok || pg.D > window {
-				continue
-			}
-			tj := l.Layers[sj.Layer].Thickness
-			v := MutualBars(pg, si.Width, t, sj.Width, tj, opt)
-			m.Set(i, j, v)
-			m.Set(j, i, v)
-		}
+		fillInductanceRow(l, segs, window, opt, m, i, pairs)
 	}
 	return m
+}
+
+// pairCandidates returns, for each position i in segs, the sorted
+// positions j > i whose segments might lie within the perpendicular
+// window (a bounding-box superset from the spatial index; callers
+// re-check with Parallel and the exact D test). A nil return means "all
+// j > i" — used when the window is unbounded, where an index prunes
+// nothing.
+func pairCandidates(l *geom.Layout, segs []int, window float64) [][]int {
+	if math.IsInf(window, 1) || len(segs) < 2 {
+		return nil
+	}
+	idx := geom.NewIndex(l, 0)
+	pos := make(map[int]int, len(segs))
+	for i, si := range segs {
+		pos[si] = i
+	}
+	pairs := make([][]int, len(segs))
+	for i, si := range segs {
+		var row []int
+		for _, c := range idx.ParallelCandidates(si, window) {
+			if j, ok := pos[c]; ok && j > i {
+				row = append(row, j)
+			}
+		}
+		sort.Ints(row)
+		pairs[i] = row
+	}
+	return pairs
+}
+
+// fillInductanceRow computes the diagonal entry and the mutuals of row
+// i, visiting either the indexed candidate list or every j > i.
+func fillInductanceRow(l *geom.Layout, segs []int, window float64, opt GMDOptions, m *matrix.Dense, i int, pairs [][]int) {
+	n := len(segs)
+	si := &l.Segments[segs[i]]
+	t := l.Layers[si.Layer].Thickness
+	m.Set(i, i, SelfInductanceBarCached(si.Length, si.Width, t))
+	visit := func(j int) {
+		sj := &l.Segments[segs[j]]
+		pg, ok := l.Parallel(segs[i], segs[j])
+		if !ok || pg.D > window {
+			return
+		}
+		tj := l.Layers[sj.Layer].Thickness
+		v := MutualBarsCached(pg, si.Width, t, sj.Width, tj, opt)
+		m.Set(i, j, v)
+		m.Set(j, i, v)
+	}
+	if pairs != nil {
+		for _, j := range pairs[i] {
+			visit(j)
+		}
+		return
+	}
+	for j := i + 1; j < n; j++ {
+		visit(j)
+	}
 }
 
 // LoopInductanceTwoWire returns the loop inductance of a signal/return

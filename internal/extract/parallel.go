@@ -24,6 +24,11 @@ import (
 // expensive rows. Strides are claimed with a lock-free atomic counter —
 // the mutex-guarded handout this replaces serialized all workers through
 // one critical section per row.
+//
+// All workers share the process-wide geometry-keyed kernel cache; its
+// lock striping (64 shards, read-locked lookups) keeps contention
+// negligible, and because the memoized values are the kernels' exact
+// outputs the result stays bit-identical at every worker count.
 func InductanceMatrixParallel(l *geom.Layout, segs []int, window float64, opt GMDOptions, workers int) *matrix.Dense {
 	n := len(segs)
 	if workers <= 0 {
@@ -36,6 +41,7 @@ func InductanceMatrixParallel(l *geom.Layout, segs []int, window float64, opt GM
 		return InductanceMatrix(l, segs, window, opt)
 	}
 	m := matrix.NewDense(n, n)
+	pairs := pairCandidates(l, segs, window)
 	// A few strides per worker keeps the tail balanced even if one
 	// stride stalls (e.g. a worker descheduled by the OS).
 	numUnits := 4 * workers
@@ -54,20 +60,7 @@ func InductanceMatrixParallel(l *geom.Layout, segs []int, window float64, opt GM
 					return
 				}
 				for i := u; i < n; i += numUnits {
-					si := &l.Segments[segs[i]]
-					t := l.Layers[si.Layer].Thickness
-					m.Set(i, i, SelfInductanceBar(si.Length, si.Width, t))
-					for j := i + 1; j < n; j++ {
-						sj := &l.Segments[segs[j]]
-						pg, ok := l.Parallel(segs[i], segs[j])
-						if !ok || pg.D > window {
-							continue
-						}
-						tj := l.Layers[sj.Layer].Thickness
-						v := MutualBars(pg, si.Width, t, sj.Width, tj, opt)
-						m.Set(i, j, v)
-						m.Set(j, i, v)
-					}
+					fillInductanceRow(l, segs, window, opt, m, i, pairs)
 				}
 			}
 		}()

@@ -80,5 +80,7 @@ func CouplingCap(l *geom.Layout, i, j int) float64 {
 	}
 	ly := l.Layers[a.Layer]
 	w := math.Min(a.Width, b.Width)
-	return CouplingCapPerLength(w, ly.Thickness, ly.HBelow, sp) * ov
+	// The per-length kernel is memoized by its exact arguments (see
+	// cache.go): on a regular bus every adjacent pair shares one entry.
+	return couplingCapPerLengthCached(w, ly.Thickness, ly.HBelow, sp) * ov
 }

@@ -174,12 +174,16 @@ func NewSolver(l *geom.Layout, segs []int, port Port, shorts [][2]string, fRef f
 		return nil, fmt.Errorf("fasthenry: port terminals are shorted together")
 	}
 
-	// Partial inductance matrix over filaments.
+	// Partial inductance matrix over filaments. A regular filament grid
+	// repeats the same relative geometry constantly (every segment of a
+	// bus discretizes identically), so the kernels go through extract's
+	// geometry-keyed cache — values stay bit-identical, each unique
+	// (la, lb, s, d) is integrated once.
 	nf := len(fils)
 	lp := matrix.NewDense(nf, nf)
 	for i := 0; i < nf; i++ {
 		fi := &fils[i]
-		lp.Set(i, i, extract.SelfInductanceBar(fi.length, fi.w, fi.t))
+		lp.Set(i, i, extract.SelfInductanceBarCached(fi.length, fi.w, fi.t))
 		for j := i + 1; j < nf; j++ {
 			fj := &fils[j]
 			if fi.dir != fj.dir {
@@ -198,7 +202,7 @@ func NewSolver(l *geom.Layout, segs []int, port Port, shorts [][2]string, fRef f
 				// mean self-GMD so the formula stays finite.
 				d = extract.SelfGMDFactor * (fi.w + fi.t + fj.w + fj.t) / 2
 			}
-			m := extract.MutualFilaments(fi.length, fj.length, s, d)
+			m := extract.MutualFilamentsCached(fi.length, fj.length, s, d)
 			lp.Set(i, j, m)
 			lp.Set(j, i, m)
 		}

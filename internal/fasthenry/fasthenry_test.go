@@ -216,3 +216,49 @@ func TestSkinEffectResistanceRatio(t *testing.T) {
 		t.Errorf("wide conductor shows no skin effect: ratio %g", wide)
 	}
 }
+
+// TestFilamentAssemblyCacheBitIdentical builds the same solver with the
+// kernel cache enabled and disabled: the filament partial-inductance
+// matrix, and therefore the extracted port impedance, must match to the
+// last bit (the cache memoizes exact kernel outputs only).
+func TestFilamentAssemblyCacheBitIdentical(t *testing.T) {
+	l, segs, port, shorts := signalOverReturn(1500e-6, 6e-6, 15e-6)
+	build := func(on bool) *Solver {
+		extract.ResetKernelCache()
+		extract.SetKernelCache(on)
+		defer func() {
+			extract.SetKernelCache(true)
+			extract.ResetKernelCache()
+		}()
+		s, err := NewSolver(l, segs, port, shorts, 10e9, Options{MaxPerSide: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	off := build(false)
+	on := build(true)
+	nf := off.NumFilaments()
+	if on.NumFilaments() != nf {
+		t.Fatalf("filament counts differ: %d vs %d", on.NumFilaments(), nf)
+	}
+	for i := 0; i < nf; i++ {
+		for j := 0; j < nf; j++ {
+			a, b := off.lp.At(i, j), on.lp.At(i, j)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("lp(%d,%d): %v != %v", i, j, a, b)
+			}
+		}
+	}
+	za, err := off.Impedance(5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb, err := on.Impedance(5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if za != zb {
+		t.Fatalf("impedance differs: %v vs %v", za, zb)
+	}
+}

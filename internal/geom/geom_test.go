@@ -213,6 +213,50 @@ func TestIndexFindsAllNeighbors(t *testing.T) {
 	}
 }
 
+func TestParallelCandidatesSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	l := NewLayout(testLayers())
+	for i := 0; i < 200; i++ {
+		dir := DirX
+		if rng.Intn(2) == 1 {
+			dir = DirY
+		}
+		l.AddSegment(Segment{
+			Layer: rng.Intn(3), Dir: dir,
+			X0: rng.Float64() * 1e-3, Y0: rng.Float64() * 1e-3,
+			Length: 1e-6 + rng.Float64()*300e-6, Width: 0.5e-6 + rng.Float64()*2e-6,
+			Net: "n", NodeA: "a", NodeB: "b",
+		})
+	}
+	idx := NewIndex(l, 0)
+	for _, window := range []float64{2e-6, 30e-6, 2e-3} {
+		for i := 0; i < 40; i++ {
+			got := idx.ParallelCandidates(i, window)
+			gotSet := make(map[int]bool, len(got))
+			for _, g := range got {
+				if g == i {
+					t.Fatalf("candidates for %d include itself", i)
+				}
+				gotSet[g] = true
+			}
+			// Every same-direction segment within perpendicular distance
+			// window must be reported, regardless of longitudinal offset —
+			// Parallel folds layer z into D, which only grows it, so the
+			// in-plane cross distance is the binding test.
+			for j := range l.Segments {
+				if j == i || l.Segments[j].Dir != l.Segments[i].Dir {
+					continue
+				}
+				dCross := math.Abs(l.Segments[j].CrossCoord() - l.Segments[i].CrossCoord())
+				if dCross <= window && !gotSet[j] {
+					t.Fatalf("window %g: candidates for %d miss parallel segment %d at cross distance %g",
+						window, i, j, dCross)
+				}
+			}
+		}
+	}
+}
+
 func TestIndexEmptyLayout(t *testing.T) {
 	l := NewLayout(testLayers())
 	idx := NewIndex(l, 0)

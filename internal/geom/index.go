@@ -1,6 +1,9 @@
 package geom
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Index is a uniform-grid spatial index over a layout's segments. The
 // extractor uses it to find coupling-capacitance neighbours and to build
@@ -13,6 +16,22 @@ type Index struct {
 	cells    [][]int // cell -> segment indices
 	allIdx   []int
 	diagonal float64
+	// Query dedup scratch: stamp[si] == epoch means segment si was
+	// already reported during the current query. Reusing the buffer
+	// makes queries allocation-free, at the cost of making an Index
+	// unsafe for concurrent queries (build interaction lists before
+	// fanning out to workers).
+	stamp []uint32
+	epoch uint32
+	// tracks[d] holds the segments routed in direction d sorted by
+	// centerline cross coordinate, for windowed parallel-pair search.
+	tracks [2]trackSet
+}
+
+// trackSet is a direction's segments sorted by cross coordinate.
+type trackSet struct {
+	cross []float64
+	seg   []int
 }
 
 // NewIndex builds an index with the given cell size. A cell size of 0
@@ -55,6 +74,7 @@ func NewIndex(l *Layout, cellSize float64) *Index {
 		ny:       ny,
 		cells:    make([][]int, nx*ny),
 		diagonal: math.Hypot(w, h),
+		stamp:    make([]uint32, len(l.Segments)),
 	}
 	for i := range l.Segments {
 		x0, y0, x1, y1 := l.Segments[i].BBox()
@@ -62,8 +82,29 @@ func NewIndex(l *Layout, cellSize float64) *Index {
 			idx.cells[c] = append(idx.cells[c], i)
 		})
 		idx.allIdx = append(idx.allIdx, i)
+		d := 0
+		if l.Segments[i].Dir == DirY {
+			d = 1
+		}
+		tr := &idx.tracks[d]
+		tr.cross = append(tr.cross, l.Segments[i].CrossCoord())
+		tr.seg = append(tr.seg, i)
+	}
+	for d := range idx.tracks {
+		tr := &idx.tracks[d]
+		sort.Sort(byCross{tr})
 	}
 	return idx
+}
+
+// byCross sorts a trackSet's parallel arrays by cross coordinate.
+type byCross struct{ t *trackSet }
+
+func (b byCross) Len() int           { return len(b.t.cross) }
+func (b byCross) Less(i, j int) bool { return b.t.cross[i] < b.t.cross[j] }
+func (b byCross) Swap(i, j int) {
+	b.t.cross[i], b.t.cross[j] = b.t.cross[j], b.t.cross[i]
+	b.t.seg[i], b.t.seg[j] = b.t.seg[j], b.t.seg[i]
 }
 
 func (idx *Index) forCells(x0, y0, x1, y1 float64, f func(cell int)) {
@@ -101,19 +142,27 @@ func (idx *Index) clampY(c int) int {
 // Query returns the segment indices whose bounding box, expanded by
 // margin, intersects the query box. Results are deduplicated and in
 // ascending order of first insertion; the same segment is reported once.
+// Queries reuse an internal scratch buffer, so an Index must not be
+// queried from multiple goroutines at once.
 func (idx *Index) Query(x0, y0, x1, y1, margin float64) []int {
-	seen := make(map[int]bool)
+	idx.epoch++
+	if idx.epoch == 0 { // wrapped: invalidate stale stamps
+		for i := range idx.stamp {
+			idx.stamp[i] = 0
+		}
+		idx.epoch = 1
+	}
 	var out []int
 	idx.forCells(x0-margin, y0-margin, x1+margin, y1+margin, func(c int) {
 		for _, si := range idx.cells[c] {
-			if seen[si] {
+			if idx.stamp[si] == idx.epoch {
 				continue
 			}
+			idx.stamp[si] = idx.epoch
 			sx0, sy0, sx1, sy1 := idx.layout.Segments[si].BBox()
 			if sx1 < x0-margin || sx0 > x1+margin || sy1 < y0-margin || sy0 > y1+margin {
 				continue
 			}
-			seen[si] = true
 			out = append(out, si)
 		}
 	})
@@ -129,6 +178,34 @@ func (idx *Index) Neighbors(i int, dist float64) []int {
 	for _, c := range cand {
 		if c != i {
 			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ParallelCandidates returns the segments that could form a parallel
+// pair with segment i at perpendicular distance <= window, excluding i
+// itself. Because partial mutual inductance depends only on the
+// perpendicular distance — two collinear segments a millimetre apart
+// along their shared axis still couple — candidates are found by cross
+// coordinate alone: all same-direction segments whose centerline is
+// within window of segment i's. Since the pair distance D is at least
+// the centerline cross distance, this is a superset of the exact
+// window: callers must still filter with Layout.Parallel and the
+// D <= window test.
+func (idx *Index) ParallelCandidates(i int, window float64) []int {
+	s := &idx.layout.Segments[i]
+	d := 0
+	if s.Dir == DirY {
+		d = 1
+	}
+	tr := &idx.tracks[d]
+	c := s.CrossCoord()
+	lo := sort.SearchFloat64s(tr.cross, c-window)
+	var out []int
+	for k := lo; k < len(tr.cross) && tr.cross[k] <= c+window; k++ {
+		if tr.seg[k] != i {
+			out = append(out, tr.seg[k])
 		}
 	}
 	return out

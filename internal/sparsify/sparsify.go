@@ -187,60 +187,7 @@ func Halo(lay *geom.Layout, segs []int, lp *matrix.Dense, isReturn HaloReturn) *
 	if len(segs) != n {
 		panic("sparsify: segs/matrix size mismatch")
 	}
-	// Per-segment halo radius: distance to the farther bounding return
-	// line (so the halo encloses both returns). Segments with no
-	// bounding return on a side fall back to the layout's cross extent.
-	radius := make([]float64, n)
-	var spanLo, spanHi float64 = math.Inf(1), math.Inf(-1)
-	for _, si := range segs {
-		c := lay.Segments[si].CrossCoord()
-		spanLo = math.Min(spanLo, c)
-		spanHi = math.Max(spanHi, c)
-	}
-	fallback := math.Max(spanHi-spanLo, 1e-9)
-	for i := 0; i < n; i++ {
-		si := &lay.Segments[segs[i]]
-		c := si.CrossCoord()
-		below, above := math.Inf(1), math.Inf(1)
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			sj := &lay.Segments[segs[j]]
-			if sj.Dir != si.Dir || !isReturn(sj.Net) {
-				continue
-			}
-			if lay.OverlapLength(segs[i], segs[j]) <= 0 {
-				continue
-			}
-			d := sj.CrossCoord() - c
-			if d < 0 && -d < below {
-				below = -d
-			}
-			if d > 0 && d < above {
-				above = d
-			}
-		}
-		// The halo spans the region enclosed by the bounding returns,
-		// i.e. width below+above; a shell of that radius keeps the
-		// bounding returns themselves inside (they carry the limited
-		// return current) while cutting everything past them.
-		var r float64
-		switch {
-		case !math.IsInf(below, 1) && !math.IsInf(above, 1):
-			r = below + above
-		case !math.IsInf(below, 1):
-			r = 2 * below
-		case !math.IsInf(above, 1):
-			r = 2 * above
-		default:
-			r = fallback
-		}
-		if r <= 0 {
-			r = fallback
-		}
-		radius[i] = r
-	}
+	radius := haloRadii(lay, segs, isReturn)
 	out := matrix.NewDense(n, n)
 	kept, off := 0, 0
 	for i := 0; i < n; i++ {
@@ -275,6 +222,77 @@ func Halo(lay *geom.Layout, segs []int, lp *matrix.Dense, isReturn HaloReturn) *
 		}
 	}
 	return finish(out, kept, off)
+}
+
+// haloRadii computes each segment's halo radius: the distance to the
+// farther of the nearest bounding same-direction return lines on either
+// side (so the halo encloses both returns), falling back to the
+// layout's cross extent when a side has none. The nearest-return search
+// runs on the uniform-grid spatial index with an expanding cross-axis
+// window — O(n·k) on regular grids — replacing the former all-pairs
+// scan; the radii (and therefore the sparsified matrix) are identical,
+// because a return found within the current window is provably the
+// global nearest on its side.
+func haloRadii(lay *geom.Layout, segs []int, isReturn HaloReturn) []float64 {
+	n := len(segs)
+	radius := make([]float64, n)
+	var spanLo, spanHi float64 = math.Inf(1), math.Inf(-1)
+	for _, si := range segs {
+		c := lay.Segments[si].CrossCoord()
+		spanLo = math.Min(spanLo, c)
+		spanHi = math.Max(spanHi, c)
+	}
+	fallback := math.Max(spanHi-spanLo, 1e-9)
+	idx := geom.NewIndex(lay, 0)
+	inSet := make(map[int]bool, n)
+	for _, si := range segs {
+		inSet[si] = true
+	}
+	for i := 0; i < n; i++ {
+		c := lay.Segments[segs[i]].CrossCoord()
+		below, above := math.Inf(1), math.Inf(1)
+		for w := fallback / 64; ; w *= 2 {
+			below, above = math.Inf(1), math.Inf(1)
+			for _, cj := range idx.ParallelCandidates(segs[i], w) {
+				sj := &lay.Segments[cj]
+				if !inSet[cj] || !isReturn(sj.Net) {
+					continue
+				}
+				if lay.OverlapLength(segs[i], cj) <= 0 {
+					continue
+				}
+				d := sj.CrossCoord() - c
+				if d < 0 && -d < below {
+					below = -d
+				}
+				if d > 0 && d < above {
+					above = d
+				}
+			}
+			// A side is settled once its nearest hit lies inside the
+			// scanned window (nothing closer can be outside it). Stop
+			// when both are, or the window covers the whole cross span.
+			if (below <= w && above <= w) || w >= fallback {
+				break
+			}
+		}
+		var r float64
+		switch {
+		case !math.IsInf(below, 1) && !math.IsInf(above, 1):
+			r = below + above
+		case !math.IsInf(below, 1):
+			r = 2 * below
+		case !math.IsInf(above, 1):
+			r = 2 * above
+		default:
+			r = fallback
+		}
+		if r <= 0 {
+			r = fallback
+		}
+		radius[i] = r
+	}
+	return radius
 }
 
 // InvertToK returns the exact K = L^-1 matrix.

@@ -2,6 +2,7 @@ package sparsify
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -315,5 +316,105 @@ func TestKronReducePreservesSolution(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestHaloRadiiMatchBruteForce pins the indexed expanding-window
+// nearest-return search against the all-pairs scan it replaced: the
+// radii must be identical on regular and irregular layouts, so the
+// sparsified matrix is too.
+func TestHaloRadiiMatchBruteForce(t *testing.T) {
+	brute := func(lay *geom.Layout, segs []int, isReturn HaloReturn) []float64 {
+		n := len(segs)
+		radius := make([]float64, n)
+		var spanLo, spanHi float64 = math.Inf(1), math.Inf(-1)
+		for _, si := range segs {
+			c := lay.Segments[si].CrossCoord()
+			spanLo = math.Min(spanLo, c)
+			spanHi = math.Max(spanHi, c)
+		}
+		fallback := math.Max(spanHi-spanLo, 1e-9)
+		for i := 0; i < n; i++ {
+			si := &lay.Segments[segs[i]]
+			c := si.CrossCoord()
+			below, above := math.Inf(1), math.Inf(1)
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				sj := &lay.Segments[segs[j]]
+				if sj.Dir != si.Dir || !isReturn(sj.Net) {
+					continue
+				}
+				if lay.OverlapLength(segs[i], segs[j]) <= 0 {
+					continue
+				}
+				d := sj.CrossCoord() - c
+				if d < 0 && -d < below {
+					below = -d
+				}
+				if d > 0 && d < above {
+					above = d
+				}
+			}
+			var r float64
+			switch {
+			case !math.IsInf(below, 1) && !math.IsInf(above, 1):
+				r = below + above
+			case !math.IsInf(below, 1):
+				r = 2 * below
+			case !math.IsInf(above, 1):
+				r = 2 * above
+			default:
+				r = fallback
+			}
+			if r <= 0 {
+				r = fallback
+			}
+			radius[i] = r
+		}
+		return radius
+	}
+	isReturn := func(net string) bool { return net == "gnd" }
+
+	// Regular bus with interleaved returns.
+	lay, segs := busOverGrid(6, 3e-6)
+	got := haloRadii(lay, segs, isReturn)
+	want := brute(lay, segs, isReturn)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("bus: radius[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+
+	// Irregular layout: random staggered wires, sparse returns, some
+	// segments with no return neighbour on one or both sides.
+	rng := rand.New(rand.NewSource(41))
+	lay2 := geom.NewLayout([]geom.Layer{
+		{Name: "M6", Z: 6e-6, Thickness: 1.2e-6, SheetRho: 0.018, HBelow: 1.1e-6},
+	})
+	var segs2 []int
+	for i := 0; i < 60; i++ {
+		net := "sig"
+		if rng.Intn(4) == 0 {
+			net = "gnd"
+		}
+		dir := geom.DirX
+		if rng.Intn(2) == 1 {
+			dir = geom.DirY
+		}
+		segs2 = append(segs2, lay2.AddSegment(geom.Segment{
+			Layer: 0, Dir: dir,
+			X0: rng.Float64() * 400e-6, Y0: rng.Float64() * 400e-6,
+			Length: 20e-6 + rng.Float64()*200e-6, Width: 1e-6,
+			Net: net, NodeA: "a", NodeB: "b",
+		}))
+	}
+	got = haloRadii(lay2, segs2, isReturn)
+	want = brute(lay2, segs2, isReturn)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("random: radius[%d] = %g, want %g", i, got[i], want[i])
+		}
 	}
 }

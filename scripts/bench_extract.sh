@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate BENCH_extract.json: extraction timing for the
+# geometry-keyed kernel cache (64-line minimum-pitch bus, numeric GMD)
+# and the spatial-index windowed pair search (2400-segment power grid).
+# Run from anywhere in the repo.
+set -e
+cd "$(dirname "$0")/.."
+BENCH_EXTRACT=1 go test -run TestBenchExtractSnapshot -v . "$@"

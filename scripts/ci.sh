@@ -22,7 +22,7 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
-echo "== race detector (matrix, extract, sim)"
-go test -race ./internal/matrix ./internal/extract ./internal/sim
+echo "== race detector (matrix, extract, fasthenry, sim)"
+go test -race ./internal/matrix ./internal/extract ./internal/fasthenry ./internal/sim
 
 echo "CI OK"
