@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/cmplx"
+	"os"
+	"testing"
+	"time"
+
+	"inductance101/internal/fasthenry"
+	"inductance101/internal/geom"
+	"inductance101/internal/matrix"
+)
+
+// benchLoopBus builds the loop-extraction benchmark structure: a signal
+// wire with nWires-1 return wires on the same layer, returns tied
+// together at both ends and to the signal at the far end. One segment
+// per wire; the filament count is nWires * nw * nt.
+func benchLoopBus(nWires int) (*geom.Layout, []int, fasthenry.Port, [][2]string) {
+	lay := geom.NewLayout([]geom.Layer{
+		{Name: "M6", Z: 6e-6, Thickness: 1.2e-6, SheetRho: 0.018, HBelow: 1.1e-6},
+	})
+	const (
+		length = 1e-3
+		width  = 1e-6
+		pitch  = 2e-6
+	)
+	var segs []int
+	for w := 0; w < nWires; w++ {
+		net, a, b := "GND", fmt.Sprintf("g%d_0", w), fmt.Sprintf("g%d_1", w)
+		if w == 0 {
+			net, a, b = "sig", "s0", "s1"
+		}
+		segs = append(segs, lay.AddSegment(geom.Segment{
+			Layer: 0, Dir: geom.DirX, X0: 0, Y0: float64(w) * pitch,
+			Length: length, Width: width, Net: net, NodeA: a, NodeB: b,
+		}))
+	}
+	var shorts [][2]string
+	for w := 2; w < nWires; w++ {
+		shorts = append(shorts,
+			[2]string{fmt.Sprintf("g%d_0", w-1), fmt.Sprintf("g%d_0", w)},
+			[2]string{fmt.Sprintf("g%d_1", w-1), fmt.Sprintf("g%d_1", w)})
+	}
+	shorts = append(shorts, [2]string{"s1", "g1_1"})
+	return lay, segs, fasthenry.Port{Plus: "s0", Minus: "g1_0"}, shorts
+}
+
+// TestBenchFasthenrySnapshot times dense vs matrix-free iterative
+// frequency sweeps of the FastHenry-style loop extractor at three
+// filament counts and writes BENCH_fasthenry.json. Each iterative
+// sweep is also checked against the dense oracle pointwise, so the
+// bench doubles as a large-scale equivalence test. Only runs when
+// BENCH_FASTHENRY=1; regenerate with scripts/bench_fasthenry.sh.
+func TestBenchFasthenrySnapshot(t *testing.T) {
+	if os.Getenv("BENCH_FASTHENRY") == "" {
+		t.Skip("set BENCH_FASTHENRY=1 to write BENCH_fasthenry.json")
+	}
+
+	type sizeResult struct {
+		Wires           int     `json:"wires"`
+		Filaments       int     `json:"filaments"`
+		SweepPoints     int     `json:"sweep_points"`
+		DenseSec        float64 `json:"dense_sweep_sec"`
+		IterativeSec    float64 `json:"iterative_sweep_sec"`
+		Speedup         float64 `json:"speedup"`
+		GMRESIters      []int   `json:"gmres_iters_per_point"`
+		MaxRelErr       float64 `json:"max_rel_err_vs_dense"`
+		ACAFarBlocks    int     `json:"aca_far_blocks"`
+		ACAMaxRank      int     `json:"aca_max_rank"`
+		CompressionX    float64 `json:"storage_compression_x"`
+		KernelFrac      float64 `json:"kernel_eval_fraction"`
+		OperatorBuildMs float64 `json:"operator_build_ms"`
+	}
+	var results []sizeResult
+
+	freqs := fasthenry.LogSpace(1e8, 2e10, 6)
+	opts := fasthenry.Options{NW: 4, NT: 2}
+	workers := matrix.Workers()
+
+	for _, nWires := range []int{36, 98, 256} {
+		lay, segs, port, shorts := benchLoopBus(nWires)
+		mk := func(mode fasthenry.SolveMode) *fasthenry.Solver {
+			s, err := fasthenry.NewSolver(lay, segs, port, shorts, 2e10, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetSolveMode(mode)
+			return s
+		}
+
+		dense := mk(fasthenry.ModeDense)
+		t0 := time.Now()
+		densePts, err := dense.SweepParallel(freqs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		denseSec := time.Since(t0).Seconds()
+
+		iter := mk(fasthenry.ModeIterative)
+		tb := time.Now()
+		opStats := iter.OperatorStats()
+		buildMs := float64(time.Since(tb).Microseconds()) / 1e3
+		t1 := time.Now()
+		iterPts, err := iter.SweepParallel(freqs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iterSec := time.Since(t1).Seconds()
+
+		res := sizeResult{
+			Wires:           nWires,
+			Filaments:       dense.NumFilaments(),
+			SweepPoints:     len(freqs),
+			DenseSec:        denseSec,
+			IterativeSec:    iterSec,
+			Speedup:         denseSec / iterSec,
+			ACAFarBlocks:    opStats.FarBlocks,
+			ACAMaxRank:      opStats.MaxRank,
+			CompressionX:    opStats.CompressionRatio(),
+			KernelFrac:      float64(opStats.KernelEvals) / float64(opStats.DenseKernelEntries),
+			OperatorBuildMs: buildMs,
+		}
+		for i := range iterPts {
+			res.GMRESIters = append(res.GMRESIters, iterPts[i].Iters)
+			d := cmplx.Abs(iterPts[i].Z-densePts[i].Z) / cmplx.Abs(densePts[i].Z)
+			if d > res.MaxRelErr {
+				res.MaxRelErr = d
+			}
+		}
+		if res.MaxRelErr > 1e-6 {
+			t.Errorf("%d filaments: iterative deviates from dense by %.3g (tolerance 1e-6)",
+				res.Filaments, res.MaxRelErr)
+		}
+		t.Logf("%4d wires, %5d filaments: dense %.2fs, iterative %.2fs (%.1fx), iters %v, err %.2g",
+			nWires, res.Filaments, denseSec, iterSec, res.Speedup, res.GMRESIters, res.MaxRelErr)
+		results = append(results, res)
+	}
+
+	last := results[len(results)-1]
+	if last.Speedup < 5 {
+		t.Errorf("iterative sweep speedup at %d filaments is %.1fx, want >= 5x",
+			last.Filaments, last.Speedup)
+	}
+
+	out, err := json.MarshalIndent(struct {
+		Note    string       `json:"note"`
+		Workers int          `json:"workers"`
+		Sizes   []sizeResult `json:"loop_extraction"`
+	}{
+		Note:    "FastHenry loop-extraction sweep: dense complex LU vs matrix-free GMRES over the ACA-compressed operator; regenerate with scripts/bench_fasthenry.sh",
+		Workers: workers,
+		Sizes:   results,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fasthenry.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_fasthenry.json")
+}

@@ -5,8 +5,17 @@
 //
 // Usage:
 //
-//	inductx [-l matrix|summary] [-c] [-window 0] [-kernelcache on|off] [-v] layout.json
+//	inductx [-l matrix|summary] [-c] [-window 0] [-kernelcache on|off]
+//	        [-solver auto|dense|iterative] [-acatol 1e-8] [-v] layout.json
 //	inductx -sample          # print a sample layout document
+//
+// -solver selects the partial-inductance representation: dense builds
+// the full matrix; iterative builds the hierarchically compressed
+// (near-exact + ACA low-rank) operator and reads every reported value
+// through it; auto uses dense below 256 segments. The compressed path
+// requires an unlimited -window (windowing and hierarchical
+// compression are competing sparsification strategies) and cannot
+// export -spice decks, which need the dense matrix.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"inductance101/internal/geom"
 	"inductance101/internal/grid"
 	"inductance101/internal/layoutio"
+	"inductance101/internal/matrix"
 	"inductance101/internal/units"
 )
 
@@ -31,7 +41,9 @@ func main() {
 		sample  = flag.Bool("sample", false, "print a sample layout JSON and exit")
 		spice   = flag.String("spice", "", "also write the stamped PEEC netlist as a SPICE deck to this file")
 		kcache  = flag.String("kernelcache", "on", "geometry-keyed kernel cache: on | off (results are bit-identical either way)")
-		verbose = flag.Bool("v", false, "print extraction diagnostics (kernel cache hit/miss counters)")
+		solver  = flag.String("solver", "auto", "inductance representation: dense | iterative (compressed operator) | auto (dense below 256 segments)")
+		acatol  = flag.Float64("acatol", 1e-8, "ACA far-block relative tolerance for -solver iterative")
+		verbose = flag.Bool("v", false, "print extraction diagnostics (kernel cache hit/miss counters, operator compression)")
 	)
 	flag.Parse()
 	switch *kcache {
@@ -60,12 +72,57 @@ func main() {
 		fatal(err)
 	}
 
+	// Resolve the inductance representation. autoCompressSegments is
+	// the auto-mode switch point; below it the dense matrix is cheap
+	// and keeps default outputs on the exact path.
+	const autoCompressSegments = 256
+	compressed := false
+	switch *solver {
+	case "dense":
+	case "iterative":
+		compressed = true
+	case "auto":
+		compressed = len(lay.Segments) >= autoCompressSegments
+	default:
+		fatal(fmt.Errorf("-solver must be dense, iterative or auto, got %q", *solver))
+	}
+	if compressed && *window > 0 {
+		fatal(fmt.Errorf("-solver iterative needs an unlimited -window: windowing and hierarchical compression are competing sparsifications"))
+	}
+	if compressed && *spice != "" {
+		fatal(fmt.Errorf("-spice needs the dense inductance matrix; use -solver dense"))
+	}
+
 	opt := extract.DefaultOptions()
 	if *window > 0 {
 		opt.MutualWindow = *window
 	}
+	opt.SkipInductance = compressed
 	par := extract.Extract(lay, opt)
+	var op *extract.CompressedL
+	if compressed {
+		op = extract.CompressInductance(lay, par.Segs, opt.GMD, extract.ACAOptions{Tol: *acatol})
+	}
+	// lAt reads partial inductances through whichever representation
+	// was built; the compressed accessor reconstructs far entries from
+	// their ACA factors.
+	lAt := func(i, j int) float64 {
+		if op != nil {
+			if i == j {
+				return op.Diag(i)
+			}
+			return 0 // off-diagonals come from EachUpper walks below
+		}
+		return par.L.At(i, j)
+	}
 	st := par.Stats()
+	if op != nil {
+		op.EachUpper(func(i, j int, v float64) {
+			if v != 0 {
+				st.NumMutual++
+			}
+		})
+	}
 	fmt.Printf("extracted %d segments: %d R, %d self L, %d mutuals, %d ground caps, %d coupling caps\n",
 		len(par.Segs), st.NumR, st.NumL, st.NumMutual, st.NumCGround, st.NumCCouple)
 	if *verbose {
@@ -76,6 +133,12 @@ func main() {
 		} else {
 			fmt.Println("kernel cache: off")
 		}
+		if op != nil {
+			os := op.Stats()
+			fmt.Printf("compressed operator: %d dense + %d low-rank blocks, max rank %d, %.1fx storage compression, %d of %d kernels evaluated\n",
+				os.DiagBlocks+os.NearBlocks, os.FarBlocks, os.MaxRank,
+				os.CompressionRatio(), os.KernelEvals, os.DenseKernelEntries)
+		}
 	}
 
 	fmt.Println("\nper-segment R and self L:")
@@ -84,28 +147,50 @@ func main() {
 		fmt.Printf("  seg%-3d %-8s %s->%s  R=%-10s Lself=%s\n",
 			si, s.Net, s.NodeA, s.NodeB,
 			units.FormatSI(par.R[i], "ohm"),
-			units.FormatSI(par.L.At(i, i), "H"))
+			units.FormatSI(lAt(i, i), "H"))
 	}
 
 	switch *lMode {
 	case "matrix":
 		fmt.Println("\npartial inductance matrix (H):")
-		fmt.Print(par.L.String())
+		if op != nil {
+			n := op.Dim()
+			m := matrix.NewDense(n, n)
+			for i := 0; i < n; i++ {
+				m.Set(i, i, op.Diag(i))
+			}
+			op.EachUpper(func(i, j int, v float64) {
+				m.Set(i, j, v)
+				m.Set(j, i, v)
+			})
+			fmt.Print(m.String())
+		} else {
+			fmt.Print(par.L.String())
+		}
 	case "summary":
-		n := par.L.Rows()
-		worst, wi, wj := 0.0, 0, 0
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				k := math.Abs(par.L.At(i, j)) / math.Sqrt(par.L.At(i, i)*par.L.At(j, j))
+		n := len(par.Segs)
+		worst, wi, wj, wm := 0.0, 0, 0, 0.0
+		if op != nil {
+			op.EachUpper(func(i, j int, v float64) {
+				k := math.Abs(v) / math.Sqrt(op.Diag(i)*op.Diag(j))
 				if k > worst {
-					worst, wi, wj = k, i, j
+					worst, wi, wj, wm = k, i, j, v
+				}
+			})
+		} else {
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					k := math.Abs(par.L.At(i, j)) / math.Sqrt(par.L.At(i, i)*par.L.At(j, j))
+					if k > worst {
+						worst, wi, wj, wm = k, i, j, par.L.At(i, j)
+					}
 				}
 			}
 		}
 		if n > 1 {
 			fmt.Printf("\nstrongest coupling: seg%d <-> seg%d, k = %.4f (M = %s)\n",
 				par.Segs[wi], par.Segs[wj], worst,
-				units.FormatSI(par.L.At(wi, wj), "H"))
+				units.FormatSI(wm, "H"))
 		}
 	case "none":
 	default:

@@ -7,7 +7,15 @@
 //
 //	rlsweep [-length 2e-3] [-width 8e-6] [-pitch 20e-6]
 //	        [-fstart 1e8] [-fstop 2e10] [-points 13] [-fit] [-kernelcache on|off]
+//	        [-solver auto|dense|iterative] [-acatol 1e-8] [-v]
 //	rlsweep -layout l.json -plus s0 -minus g0 -short s1=g1 [-short a=b ...]
+//
+// -solver picks the branch-system solve: dense complex LU (the exact
+// oracle), matrix-free GMRES over the hierarchically compressed
+// partial-inductance operator, or auto (dense below 512 filaments).
+// -v prints diagnostics to stderr: the resolved solve mode, kernel
+// cache hit/miss/entry counters, and per-point GMRES iteration counts
+// on the iterative path.
 package main
 
 import (
@@ -51,6 +59,9 @@ func main() {
 		plus   = flag.String("plus", "", "port plus node (with -layout)")
 		minus  = flag.String("minus", "", "port minus node (with -layout)")
 		kcache = flag.String("kernelcache", "on", "geometry-keyed kernel cache for filament assembly: on | off (bit-identical either way)")
+		solver = flag.String("solver", "auto", "branch solve: dense | iterative | auto (dense below 512 filaments)")
+		acatol = flag.Float64("acatol", 1e-8, "ACA far-block relative tolerance for the iterative solver")
+		verb   = flag.Bool("v", false, "print solve diagnostics to stderr (solve mode, kernel cache counters, GMRES iterations)")
 		shorts shortList
 	)
 	flag.Var(&shorts, "short", "short two nodes, nodeA=nodeB (repeatable; with -layout)")
@@ -92,18 +103,44 @@ func main() {
 		lay, segs, port, sh = builtin(*length, *width, *pitch)
 	}
 
-	solver, err := fasthenry.NewSolver(lay, segs, port, sh, *fstop, fasthenry.Options{})
+	mode, err := fasthenry.ParseSolveMode(*solver)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "rlsweep: %d filaments\n", solver.NumFilaments())
-	pts, err := solver.Sweep(fasthenry.LogSpace(*fstart, *fstop, *points))
+	s, err := fasthenry.NewSolver(lay, segs, port, sh, *fstop, fasthenry.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	s.SetSolveMode(mode)
+	s.SetACATol(*acatol)
+	fmt.Fprintf(os.Stderr, "rlsweep: %d filaments\n", s.NumFilaments())
+	if *verb {
+		fmt.Fprintf(os.Stderr, "rlsweep: solver %s\n", s.SolveModeInUse())
+	}
+	pts, err := s.Sweep(fasthenry.LogSpace(*fstart, *fstop, *points))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println("freq_hz,r_ohm,l_h")
 	for _, p := range pts {
 		fmt.Printf("%g,%g,%g\n", p.Freq, p.R, p.L)
+	}
+	if *verb {
+		if cs := extract.KernelCacheStats(); cs.Enabled {
+			fmt.Fprintf(os.Stderr, "rlsweep: kernel cache: %d hits, %d misses (%.1f%% hit rate), %d entries\n",
+				cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Entries)
+		} else {
+			fmt.Fprintln(os.Stderr, "rlsweep: kernel cache: off")
+		}
+		if s.SolveModeInUse() == fasthenry.ModeIterative {
+			st := s.OperatorStats()
+			fmt.Fprintf(os.Stderr, "rlsweep: compressed operator: %d near + %d low-rank blocks, %.1fx storage compression\n",
+				st.NearBlocks+st.DiagBlocks, st.FarBlocks, st.CompressionRatio())
+			for _, p := range pts {
+				fmt.Fprintf(os.Stderr, "rlsweep: %s: %d GMRES iterations\n",
+					units.FormatSI(p.Freq, "Hz"), p.Iters)
+			}
+		}
 	}
 
 	if *fit {

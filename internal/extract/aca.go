@@ -1,0 +1,779 @@
+package extract
+
+import (
+	"math"
+
+	"inductance101/internal/geom"
+)
+
+// Hierarchically compressed partial-inductance operator.
+//
+// A dense partial-inductance matrix over n coupled elements costs O(n²)
+// memory and O(n²) kernel evaluations, and any solve through it at
+// least O(n²) per matvec — the wall the paper's §4 points at when it
+// recommends hierarchical models over raw partial-inductance matrices.
+// The structure that saves us is smoothness: the mutual-inductance
+// kernel between well-separated parallel conductors varies slowly with
+// their relative placement, so the interaction block between two
+// distant clusters is numerically low-rank. This file implements the
+// standard hierarchical-matrix recipe over a geometric cluster tree
+// (geom.Index.ClusterTree):
+//
+//   - near blocks (clusters that touch or overlap) are stored dense,
+//     assembled through the geometry-keyed kernel cache, exact to the
+//     last bit;
+//   - far blocks (clusters whose cross-plane separation — or gap along
+//     the shared routing axis — exceeds η times their extents) are
+//     compressed with adaptive cross approximation (ACA) into rank-k
+//     factors U Vᵀ, sampling only O(k(m+n)) kernel entries;
+//   - symmetry is preserved by construction: each off-diagonal block is
+//     stored once and applied both ways with the same factors, so
+//     ⟨e_i, L e_j⟩ and ⟨e_j, L e_i⟩ are bit-identical.
+//
+// A matvec then costs the sum of the near-block areas plus Σ k(m+n)
+// over far blocks — near-linear in n on regular layouts — which is what
+// makes matrix-free GMRES extraction (internal/fasthenry) scale.
+
+// HElement describes one current-carrying element (a conductor bar or a
+// skin-effect filament) for the compressed operator: its routing
+// direction, span along that axis, centre-line coordinates in the
+// perpendicular plane, and a radius bounding its cross-section.
+type HElement struct {
+	Dir      int     // 0 = x-directed, 1 = y-directed (matches geom.Direction)
+	A0, A1   float64 // span along the routing axis (m)
+	Cross, Z float64 // centre-line cross coordinate and height (m)
+	Rad      float64 // cross-section bounding radius (m)
+}
+
+// ElemTree is a cluster tree over element indices — the element-level
+// mirror of geom.ClusterNode, with segments expanded into the elements
+// they contain (a bar maps to itself, a FastHenry segment to its
+// filaments).
+type ElemTree struct {
+	Elems       []int
+	Left, Right *ElemTree
+}
+
+// ElemTreesFromClusters converts segment cluster trees into element
+// trees: each segment node's element list is the concatenation of
+// elemsOf(seg) over its segments, preserving tree shape and order.
+func ElemTreesFromClusters(roots []*geom.ClusterNode, elemsOf func(seg int) []int) []*ElemTree {
+	out := make([]*ElemTree, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, elemTreeFrom(r, elemsOf))
+	}
+	return out
+}
+
+func elemTreeFrom(n *geom.ClusterNode, elemsOf func(seg int) []int) *ElemTree {
+	t := &ElemTree{}
+	if n.IsLeaf() {
+		for _, si := range n.Segs {
+			t.Elems = append(t.Elems, elemsOf(si)...)
+		}
+		return t
+	}
+	t.Left = elemTreeFrom(n.Left, elemsOf)
+	t.Right = elemTreeFrom(n.Right, elemsOf)
+	t.Elems = make([]int, 0, len(t.Left.Elems)+len(t.Right.Elems))
+	t.Elems = append(t.Elems, t.Left.Elems...)
+	t.Elems = append(t.Elems, t.Right.Elems...)
+	return t
+}
+
+// ACAOptions controls the hierarchical compression.
+type ACAOptions struct {
+	// Tol is the relative Frobenius-norm tolerance of each low-rank
+	// block: ACA stops adding rank-one terms once the latest term's
+	// norm falls below Tol times the accumulated block norm. Default
+	// 1e-8. Smaller is tighter and more expensive; the operator's
+	// overall matvec error is of the same order as Tol.
+	Tol float64
+	// Eta is the admissibility parameter: two clusters are compressed
+	// when their separation exceeds Eta times the sum of their extents
+	// (cross-plane distance vs cross extents, or axis gap vs axis
+	// extents for collinear clusters). Default 1.
+	Eta float64
+	// MaxRank caps each block's ACA rank; blocks that fail to converge
+	// within the cap fall back to exact dense storage. Default: the
+	// break-even rank m·n/(2(m+n)) beyond which the factors would cost
+	// more than the dense block.
+	MaxRank int
+}
+
+func (o ACAOptions) tol() float64 {
+	if o.Tol <= 0 {
+		return 1e-8
+	}
+	return o.Tol
+}
+
+func (o ACAOptions) eta() float64 {
+	if o.Eta <= 0 {
+		return 1
+	}
+	return o.Eta
+}
+
+// denseBlock is an exactly stored interaction block. For diagonal
+// blocks rows and cols are the same slice.
+type denseBlock struct {
+	rows, cols []int
+	v          []float64 // len(rows) x len(cols), row-major
+}
+
+// lowRankBlock approximates an interaction block as U Vᵀ with k
+// rank-one terms: u is k x len(rows), v is k x len(cols), row-major by
+// term.
+type lowRankBlock struct {
+	rows, cols []int
+	u, v       []float64
+	k          int
+}
+
+// CompressStats summarizes a compressed operator.
+type CompressStats struct {
+	N                  int // elements
+	DiagBlocks         int // dense diagonal leaf blocks
+	NearBlocks         int // dense off-diagonal blocks
+	FarBlocks          int // ACA-compressed blocks
+	MaxRank            int
+	AvgRank            float64
+	StoredFloats       int // floats held by all blocks
+	DenseFloats        int // n*n a dense matrix would hold
+	KernelEvals        int // kernel entries sampled during construction
+	DenseKernelEntries int // n*(n+1)/2 a dense assembly would evaluate
+}
+
+// CompressionRatio returns dense storage over compressed storage.
+func (s CompressStats) CompressionRatio() float64 {
+	if s.StoredFloats == 0 {
+		return 0
+	}
+	return float64(s.DenseFloats) / float64(s.StoredFloats)
+}
+
+// CompressedL is a symmetric partial-inductance operator stored as
+// hierarchical blocks. It is immutable after construction and safe for
+// concurrent ApplyTo/ApplyCTo/Diag/EachUpper calls — a frequency sweep
+// shares one operator across all worker goroutines.
+type CompressedL struct {
+	n     int
+	diag  []denseBlock
+	near  []denseBlock
+	far   []lowRankBlock
+	stats CompressStats
+	// elemBlock/elemPos locate each element's diagonal block for O(1)
+	// Diag lookups and the block-Jacobi preconditioner.
+	elemBlock []int32
+	elemPos   []int32
+	maxK      int
+}
+
+// Dim returns the operator dimension.
+func (c *CompressedL) Dim() int { return c.n }
+
+// Stats returns the compression summary.
+func (c *CompressedL) Stats() CompressStats { return c.stats }
+
+// DiagBlock holds one diagonal leaf cluster: the element indices and
+// the exact dense block over them (len(Idx)² row-major). The returned
+// slices are views into the operator — callers must not modify them.
+type DiagBlock struct {
+	Idx []int
+	V   []float64
+}
+
+// DiagBlocks returns the diagonal leaf blocks, the basis of the
+// block-Jacobi preconditioner in internal/fasthenry.
+func (c *CompressedL) DiagBlocks() []DiagBlock {
+	out := make([]DiagBlock, len(c.diag))
+	for i, b := range c.diag {
+		out[i] = DiagBlock{Idx: b.rows, V: b.v}
+	}
+	return out
+}
+
+// Diag returns the exact diagonal entry L[i][i].
+func (c *CompressedL) Diag(i int) float64 {
+	b := &c.diag[c.elemBlock[i]]
+	p := int(c.elemPos[i])
+	return b.v[p*len(b.cols)+p]
+}
+
+// ApplyTo computes dst = L*x over real vectors. dst and x must not
+// alias and have length Dim.
+func (c *CompressedL) ApplyTo(dst, x []float64) {
+	if len(dst) != c.n || len(x) != c.n {
+		panic("extract: CompressedL ApplyTo dimension mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for bi := range c.diag {
+		b := &c.diag[bi]
+		nc := len(b.cols)
+		for a, i := range b.rows {
+			row := b.v[a*nc : (a+1)*nc]
+			s := 0.0
+			for bidx, v := range row {
+				s += v * x[b.cols[bidx]]
+			}
+			dst[i] += s
+		}
+	}
+	for bi := range c.near {
+		b := &c.near[bi]
+		nc := len(b.cols)
+		for a, i := range b.rows {
+			row := b.v[a*nc : (a+1)*nc]
+			s := 0.0
+			for bidx, v := range row {
+				s += v * x[b.cols[bidx]]
+			}
+			dst[i] += s
+			// Transpose side: dst[cols] += row * x[i].
+			xi := x[i]
+			for bidx, v := range row {
+				dst[b.cols[bidx]] += v * xi
+			}
+		}
+	}
+	t := make([]float64, c.maxK)
+	for bi := range c.far {
+		b := &c.far[bi]
+		m, n := len(b.rows), len(b.cols)
+		// dst[rows] += U (Vᵀ x[cols]); dst[cols] += V (Uᵀ x[rows]).
+		for k := 0; k < b.k; k++ {
+			vk := b.v[k*n : (k+1)*n]
+			s := 0.0
+			for j, cj := range b.cols {
+				s += vk[j] * x[cj]
+			}
+			t[k] = s
+		}
+		for k := 0; k < b.k; k++ {
+			uk := b.u[k*m : (k+1)*m]
+			tk := t[k]
+			for a, ri := range b.rows {
+				dst[ri] += uk[a] * tk
+			}
+		}
+		for k := 0; k < b.k; k++ {
+			uk := b.u[k*m : (k+1)*m]
+			s := 0.0
+			for a, ri := range b.rows {
+				s += uk[a] * x[ri]
+			}
+			t[k] = s
+		}
+		for k := 0; k < b.k; k++ {
+			vk := b.v[k*n : (k+1)*n]
+			tk := t[k]
+			for j, cj := range b.cols {
+				dst[cj] += vk[j] * tk
+			}
+		}
+	}
+}
+
+// ApplyCTo computes dst = L*x over complex vectors (the factors are
+// real; the FastHenry branch-impedance operator applies jωL to complex
+// currents). dst and x must not alias and have length Dim.
+func (c *CompressedL) ApplyCTo(dst, x []complex128) {
+	if len(dst) != c.n || len(x) != c.n {
+		panic("extract: CompressedL ApplyCTo dimension mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for bi := range c.diag {
+		b := &c.diag[bi]
+		nc := len(b.cols)
+		for a, i := range b.rows {
+			row := b.v[a*nc : (a+1)*nc]
+			var s complex128
+			for bidx, v := range row {
+				s += complex(v, 0) * x[b.cols[bidx]]
+			}
+			dst[i] += s
+		}
+	}
+	for bi := range c.near {
+		b := &c.near[bi]
+		nc := len(b.cols)
+		for a, i := range b.rows {
+			row := b.v[a*nc : (a+1)*nc]
+			var s complex128
+			xi := x[i]
+			for bidx, v := range row {
+				cv := complex(v, 0)
+				s += cv * x[b.cols[bidx]]
+				dst[b.cols[bidx]] += cv * xi
+			}
+			dst[i] += s
+		}
+	}
+	t := make([]complex128, c.maxK)
+	for bi := range c.far {
+		b := &c.far[bi]
+		m, n := len(b.rows), len(b.cols)
+		for k := 0; k < b.k; k++ {
+			vk := b.v[k*n : (k+1)*n]
+			var s complex128
+			for j, cj := range b.cols {
+				s += complex(vk[j], 0) * x[cj]
+			}
+			t[k] = s
+		}
+		for k := 0; k < b.k; k++ {
+			uk := b.u[k*m : (k+1)*m]
+			tk := t[k]
+			for a, ri := range b.rows {
+				dst[ri] += complex(uk[a], 0) * tk
+			}
+		}
+		for k := 0; k < b.k; k++ {
+			uk := b.u[k*m : (k+1)*m]
+			var s complex128
+			for a, ri := range b.rows {
+				s += complex(uk[a], 0) * x[ri]
+			}
+			t[k] = s
+		}
+		for k := 0; k < b.k; k++ {
+			vk := b.v[k*n : (k+1)*n]
+			tk := t[k]
+			for j, cj := range b.cols {
+				dst[cj] += complex(vk[j], 0) * tk
+			}
+		}
+	}
+}
+
+// EachUpper visits every strictly-upper-triangle entry (i < j, value
+// possibly an ACA approximation on far blocks) exactly once, in block
+// order. Cross-direction pairs, which are identically zero, are not
+// visited.
+func (c *CompressedL) EachUpper(fn func(i, j int, v float64)) {
+	emit := func(i, j int, v float64) {
+		if i < j {
+			fn(i, j, v)
+		} else {
+			fn(j, i, v)
+		}
+	}
+	for bi := range c.diag {
+		b := &c.diag[bi]
+		nc := len(b.cols)
+		for a := range b.rows {
+			for bidx := a + 1; bidx < nc; bidx++ {
+				emit(b.rows[a], b.cols[bidx], b.v[a*nc+bidx])
+			}
+		}
+	}
+	for bi := range c.near {
+		b := &c.near[bi]
+		nc := len(b.cols)
+		for a, i := range b.rows {
+			for bidx, j := range b.cols {
+				emit(i, j, b.v[a*nc+bidx])
+			}
+		}
+	}
+	for bi := range c.far {
+		b := &c.far[bi]
+		m, n := len(b.rows), len(b.cols)
+		for a, i := range b.rows {
+			for j, cj := range b.cols {
+				s := 0.0
+				for k := 0; k < b.k; k++ {
+					s += b.u[k*m+a] * b.v[k*n+j]
+				}
+				emit(i, cj, s)
+			}
+		}
+	}
+}
+
+// nodeBounds is the cached geometry of one cluster-tree node.
+type nodeBounds struct {
+	axisLo, axisHi   float64
+	crossLo, crossHi float64 // inflated by element radii
+	zLo, zHi         float64 // inflated by element radii
+}
+
+func (b nodeBounds) crossExtent() float64 {
+	return math.Hypot(b.crossHi-b.crossLo, b.zHi-b.zLo)
+}
+
+func gap(aLo, aHi, bLo, bHi float64) float64 {
+	if aHi < bLo {
+		return bLo - aHi
+	}
+	if bHi < aLo {
+		return aLo - bHi
+	}
+	return 0
+}
+
+type compressor struct {
+	elems   []HElement
+	entry   func(i, j int) float64
+	opt     ACAOptions
+	bounds  map[*ElemTree]nodeBounds
+	op      *CompressedL
+	kernels int
+}
+
+func (c *compressor) boundsOf(t *ElemTree) nodeBounds {
+	if b, ok := c.bounds[t]; ok {
+		return b
+	}
+	var b nodeBounds
+	for i, ei := range t.Elems {
+		e := &c.elems[ei]
+		if i == 0 {
+			b = nodeBounds{
+				axisLo: e.A0, axisHi: e.A1,
+				crossLo: e.Cross - e.Rad, crossHi: e.Cross + e.Rad,
+				zLo: e.Z - e.Rad, zHi: e.Z + e.Rad,
+			}
+			continue
+		}
+		b.axisLo = math.Min(b.axisLo, e.A0)
+		b.axisHi = math.Max(b.axisHi, e.A1)
+		b.crossLo = math.Min(b.crossLo, e.Cross-e.Rad)
+		b.crossHi = math.Max(b.crossHi, e.Cross+e.Rad)
+		b.zLo = math.Min(b.zLo, e.Z-e.Rad)
+		b.zHi = math.Max(b.zHi, e.Z+e.Rad)
+	}
+	c.bounds[t] = b
+	return b
+}
+
+// admissible reports whether the (a, b) interaction block is smooth
+// enough to compress: the clusters are separated in the cross plane by
+// more than eta times their combined cross extents, or — for collinear
+// clusters — separated along the routing axis by more than eta times
+// their combined axis extents. Either separation bounds the kernel away
+// from its near-field singularity across the whole block.
+func (c *compressor) admissible(a, b *ElemTree) bool {
+	ba, bb := c.boundsOf(a), c.boundsOf(b)
+	eta := c.opt.eta()
+	crossDist := math.Hypot(
+		gap(ba.crossLo, ba.crossHi, bb.crossLo, bb.crossHi),
+		gap(ba.zLo, ba.zHi, bb.zLo, bb.zHi),
+	)
+	if crossDist > 0 && crossDist >= eta*(ba.crossExtent()+bb.crossExtent()) {
+		return true
+	}
+	axisGap := gap(ba.axisLo, ba.axisHi, bb.axisLo, bb.axisHi)
+	if axisGap > 0 && axisGap >= eta*((ba.axisHi-ba.axisLo)+(bb.axisHi-bb.axisLo)) {
+		return true
+	}
+	return false
+}
+
+// CompressL builds the hierarchically compressed operator over elems
+// from the given per-direction cluster trees. entry(i, j) must return
+// the symmetric interaction L[i][j] and be safe to call with i == j;
+// it is evaluated with i <= j only, so kernel-cache keys stay
+// canonical. Trees must partition [0, len(elems)) and each tree must
+// hold elements of a single direction.
+func CompressL(elems []HElement, trees []*ElemTree, entry func(i, j int) float64, opt ACAOptions) *CompressedL {
+	c := &compressor{
+		elems:  elems,
+		entry:  entry,
+		opt:    opt,
+		bounds: make(map[*ElemTree]nodeBounds),
+		op:     &CompressedL{n: len(elems)},
+	}
+	for _, t := range trees {
+		c.visitSelf(t)
+	}
+	// Cross-direction tree pairs couple nothing (zero blocks) and are
+	// skipped entirely; within-direction roots are each a single tree.
+	c.op.elemBlock = make([]int32, len(elems))
+	c.op.elemPos = make([]int32, len(elems))
+	for bi, b := range c.op.diag {
+		for p, i := range b.rows {
+			c.op.elemBlock[i] = int32(bi)
+			c.op.elemPos[i] = int32(p)
+		}
+	}
+	c.finishStats()
+	return c.op
+}
+
+func (c *compressor) visitSelf(t *ElemTree) {
+	if t.Left == nil {
+		c.addDiag(t.Elems)
+		return
+	}
+	c.visitSelf(t.Left)
+	c.visitSelf(t.Right)
+	c.visitPair(t.Left, t.Right)
+}
+
+func (c *compressor) visitPair(a, b *ElemTree) {
+	if len(a.Elems) == 0 || len(b.Elems) == 0 {
+		return
+	}
+	if c.admissible(a, b) {
+		if c.addFar(a.Elems, b.Elems) {
+			return
+		}
+	}
+	aLeaf, bLeaf := a.Left == nil, b.Left == nil
+	switch {
+	case aLeaf && bLeaf:
+		c.addNear(a.Elems, b.Elems)
+	case aLeaf:
+		c.visitPair(a, b.Left)
+		c.visitPair(a, b.Right)
+	case bLeaf:
+		c.visitPair(a.Left, b)
+		c.visitPair(a.Right, b)
+	case len(a.Elems) >= len(b.Elems):
+		c.visitPair(a.Left, b)
+		c.visitPair(a.Right, b)
+	default:
+		c.visitPair(a, b.Left)
+		c.visitPair(a, b.Right)
+	}
+}
+
+// entryAt evaluates the symmetric kernel with canonical argument order.
+func (c *compressor) entryAt(i, j int) float64 {
+	c.kernels++
+	if i <= j {
+		return c.entry(i, j)
+	}
+	return c.entry(j, i)
+}
+
+func (c *compressor) addDiag(idx []int) {
+	n := len(idx)
+	v := make([]float64, n*n)
+	for a := 0; a < n; a++ {
+		v[a*n+a] = c.entryAt(idx[a], idx[a])
+		for b := a + 1; b < n; b++ {
+			e := c.entryAt(idx[a], idx[b])
+			v[a*n+b] = e
+			v[b*n+a] = e
+		}
+	}
+	c.op.diag = append(c.op.diag, denseBlock{rows: idx, cols: idx, v: v})
+}
+
+func (c *compressor) addNear(rows, cols []int) {
+	m, n := len(rows), len(cols)
+	v := make([]float64, m*n)
+	for a, i := range rows {
+		for b, j := range cols {
+			v[a*n+b] = c.entryAt(i, j)
+		}
+	}
+	c.op.near = append(c.op.near, denseBlock{rows: rows, cols: cols, v: v})
+}
+
+// addFar attempts ACA compression of the (rows, cols) block; it reports
+// false when the block refuses to converge within the break-even rank,
+// in which case the caller subdivides or stores it dense.
+func (c *compressor) addFar(rows, cols []int) bool {
+	u, v, k, ok := c.aca(rows, cols)
+	if !ok {
+		return false
+	}
+	c.op.far = append(c.op.far, lowRankBlock{rows: rows, cols: cols, u: u, v: v, k: k})
+	if k > c.op.maxK {
+		c.op.maxK = k
+	}
+	return true
+}
+
+// aca runs partially pivoted adaptive cross approximation on the block
+// entry(rows[a], cols[b]), sampling whole residual rows and columns
+// until the newest rank-one term's norm drops below tol times the
+// accumulated approximation norm.
+func (c *compressor) aca(rows, cols []int) (u, v []float64, rank int, ok bool) {
+	m, n := len(rows), len(cols)
+	maxRank := c.opt.MaxRank
+	if maxRank <= 0 {
+		maxRank = m * n / (2 * (m + n))
+	}
+	if maxRank < 1 {
+		// Blocks too small to ever profit from factors.
+		return nil, nil, 0, false
+	}
+	tol := c.opt.tol()
+	usedRow := make([]bool, m)
+	usedCol := make([]bool, n)
+	fro2 := 0.0
+	i := 0
+	rowsLeft := m
+	for rank < maxRank {
+		// Residual row i.
+		r := make([]float64, n)
+		for j := 0; j < n; j++ {
+			e := c.entryAt(rows[i], cols[j])
+			for k := 0; k < rank; k++ {
+				e -= u[k*m+i] * v[k*n+j]
+			}
+			r[j] = e
+		}
+		usedRow[i] = true
+		rowsLeft--
+		// Pivot column: largest residual among unused columns.
+		jp, amax := -1, 0.0
+		for j := 0; j < n; j++ {
+			if usedCol[j] {
+				continue
+			}
+			if a := math.Abs(r[j]); a > amax {
+				jp, amax = j, a
+			}
+		}
+		if jp < 0 || amax == 0 {
+			// Row already fully represented: move to the next one, or
+			// stop if the whole block is captured.
+			if rowsLeft == 0 {
+				return u, v, rank, true
+			}
+			for a := 0; a < m; a++ {
+				if !usedRow[a] {
+					i = a
+					break
+				}
+			}
+			continue
+		}
+		piv := r[jp]
+		for j := range r {
+			r[j] /= piv
+		}
+		// Residual column jp.
+		cv := make([]float64, m)
+		for a := 0; a < m; a++ {
+			e := c.entryAt(rows[a], cols[jp])
+			for k := 0; k < rank; k++ {
+				e -= u[k*m+a] * v[k*n+jp]
+			}
+			cv[a] = e
+		}
+		usedCol[jp] = true
+		// Accumulate the new term and the running Frobenius norm:
+		// ||A_k||² = ||A_{k-1}||² + 2 Σ (u_k·u_t)(v_k·v_t) + ||u_k||²||v_k||².
+		nu2, nv2 := 0.0, 0.0
+		for _, x := range cv {
+			nu2 += x * x
+		}
+		for _, x := range r {
+			nv2 += x * x
+		}
+		for k := 0; k < rank; k++ {
+			du, dv := 0.0, 0.0
+			for a := 0; a < m; a++ {
+				du += u[k*m+a] * cv[a]
+			}
+			for j := 0; j < n; j++ {
+				dv += v[k*n+j] * r[j]
+			}
+			fro2 += 2 * du * dv
+		}
+		fro2 += nu2 * nv2
+		u = append(u, cv...)
+		v = append(v, r...)
+		rank++
+		if math.Sqrt(nu2*nv2) <= tol*math.Sqrt(math.Max(fro2, 0)) {
+			return u, v, rank, true
+		}
+		if rowsLeft == 0 {
+			return u, v, rank, true
+		}
+		// Next pivot row: largest entry of the new column among unused
+		// rows.
+		ip, rmax := -1, -1.0
+		for a := 0; a < m; a++ {
+			if usedRow[a] {
+				continue
+			}
+			if x := math.Abs(cv[a]); x > rmax {
+				ip, rmax = a, x
+			}
+		}
+		i = ip
+	}
+	return nil, nil, 0, false
+}
+
+func (c *compressor) finishStats() {
+	st := &c.op.stats
+	st.N = c.op.n
+	st.DiagBlocks = len(c.op.diag)
+	st.NearBlocks = len(c.op.near)
+	st.FarBlocks = len(c.op.far)
+	for _, b := range c.op.diag {
+		st.StoredFloats += len(b.v)
+	}
+	for _, b := range c.op.near {
+		st.StoredFloats += len(b.v)
+	}
+	ranks := 0
+	for _, b := range c.op.far {
+		st.StoredFloats += len(b.u) + len(b.v)
+		ranks += b.k
+		if b.k > st.MaxRank {
+			st.MaxRank = b.k
+		}
+	}
+	if len(c.op.far) > 0 {
+		st.AvgRank = float64(ranks) / float64(len(c.op.far))
+	}
+	st.DenseFloats = c.op.n * c.op.n
+	st.KernelEvals = c.kernels
+	st.DenseKernelEntries = c.op.n * (c.op.n + 1) / 2
+}
+
+// CompressInductance builds the compressed partial-inductance operator
+// over the given layout segments (one element per segment), with the
+// same self/mutual kernels — through the geometry-keyed cache — as
+// InductanceMatrix with an unlimited window. Position k of the operator
+// corresponds to segs[k].
+func CompressInductance(l *geom.Layout, segs []int, gmd GMDOptions, opt ACAOptions) *CompressedL {
+	elems := make([]HElement, len(segs))
+	for k, si := range segs {
+		s := &l.Segments[si]
+		t := l.Layers[s.Layer].Thickness
+		lo, hi := s.AxisSpan()
+		elems[k] = HElement{
+			Dir: int(s.Dir), A0: lo, A1: hi,
+			Cross: s.CrossCoord(), Z: l.Z(si),
+			Rad: math.Hypot(s.Width, t) / 2,
+		}
+	}
+	pos := make(map[int]int, len(segs))
+	for k, si := range segs {
+		pos[si] = k
+	}
+	entry := func(i, j int) float64 {
+		si, sj := segs[i], segs[j]
+		a := &l.Segments[si]
+		ta := l.Layers[a.Layer].Thickness
+		if i == j {
+			return SelfInductanceBarCached(a.Length, a.Width, ta)
+		}
+		b := &l.Segments[sj]
+		pg, okPar := l.Parallel(si, sj)
+		if !okPar {
+			return 0
+		}
+		tb := l.Layers[b.Layer].Thickness
+		return MutualBarsCached(pg, a.Width, ta, b.Width, tb, gmd)
+	}
+	idx := geom.NewIndex(l, 0)
+	roots := idx.ClusterTree(segs, 16)
+	trees := ElemTreesFromClusters(roots, func(si int) []int { return []int{pos[si]} })
+	return CompressL(elems, trees, entry, opt)
+}

@@ -25,6 +25,11 @@ type Options struct {
 	// Workers parallelizes the inductance-matrix assembly across CPUs
 	// (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// SkipInductance leaves Parasitics.L nil. Used by callers that
+	// represent the partial-inductance coupling some other way (e.g.
+	// the hierarchically compressed operator from CompressInductance)
+	// and must not pay the dense n x n assembly.
+	SkipInductance bool
 }
 
 // DefaultOptions extracts the full dense mutual matrix and couples lines
@@ -89,7 +94,9 @@ func ExtractSegments(l *geom.Layout, segs []int, opt Options) *Parasitics {
 		p.CGround[s.NodeA] += cg / 2
 		p.CGround[s.NodeB] += cg / 2
 	}
-	p.L = InductanceMatrixParallel(l, segs, opt.MutualWindow, opt.GMD, opt.Workers)
+	if !opt.SkipInductance {
+		p.L = InductanceMatrixParallel(l, segs, opt.MutualWindow, opt.GMD, opt.Workers)
+	}
 
 	// Coupling capacitance between adjacent same-layer parallel lines.
 	// Use a spatial index to keep this near-linear; window by spacing.
@@ -158,13 +165,17 @@ type Stats struct {
 	NumMutual  int // strictly off-diagonal nonzeros / 2
 }
 
-// Stats counts the extracted elements.
+// Stats counts the extracted elements. With SkipInductance the mutual
+// count is zero — the caller owns the inductance representation.
 func (p *Parasitics) Stats() Stats {
 	st := Stats{
 		NumR:       len(p.R),
 		NumCGround: len(p.CGround),
 		NumCCouple: len(p.CCoupling),
-		NumL:       p.L.Rows(),
+		NumL:       len(p.Segs),
+	}
+	if p.L == nil {
+		return st
 	}
 	n := p.L.Rows()
 	for i := 0; i < n; i++ {

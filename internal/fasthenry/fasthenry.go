@@ -18,6 +18,7 @@ package fasthenry
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"inductance101/internal/extract"
 	"inductance101/internal/geom"
@@ -71,14 +72,25 @@ type filament struct {
 }
 
 // Solver holds the discretized problem for repeated solves across a
-// frequency sweep.
+// frequency sweep. The partial-inductance matrix is materialized
+// lazily: the dense oracle path assembles the full nf x nf matrix on
+// first use, the iterative path a hierarchically compressed operator —
+// whichever the solve mode needs, never both by default.
 type Solver struct {
 	layout *geom.Layout
 	fils   []filament
-	lp     *matrix.Dense // partial inductance over filaments
 	nNodes int
 	plus   int // node index of port plus (minus is the reference)
 	minus  int
+
+	lpOnce sync.Once
+	lp     *matrix.Dense // dense partial inductance over filaments (lazy)
+
+	mode   SolveMode
+	acaTol float64
+
+	opOnce sync.Once
+	op     *extract.CompressedL // compressed partial inductance (lazy)
 }
 
 // NewSolver discretizes the given segments of the layout at a reference
@@ -174,43 +186,68 @@ func NewSolver(l *geom.Layout, segs []int, port Port, shorts [][2]string, fRef f
 		return nil, fmt.Errorf("fasthenry: port terminals are shorted together")
 	}
 
-	// Partial inductance matrix over filaments. A regular filament grid
-	// repeats the same relative geometry constantly (every segment of a
-	// bus discretizes identically), so the kernels go through extract's
-	// geometry-keyed cache — values stay bit-identical, each unique
-	// (la, lb, s, d) is integrated once.
-	nf := len(fils)
-	lp := matrix.NewDense(nf, nf)
-	for i := 0; i < nf; i++ {
-		fi := &fils[i]
-		lp.Set(i, i, extract.SelfInductanceBarCached(fi.length, fi.w, fi.t))
-		for j := i + 1; j < nf; j++ {
-			fj := &fils[j]
-			if fi.dir != fj.dir {
-				continue
-			}
-			var s, d float64
-			if fi.dir == geom.DirX {
-				s = fj.x0 - fi.x0
-				d = math.Hypot(fj.y0-fi.y0, fj.z-fi.z)
-			} else {
-				s = fj.y0 - fi.y0
-				d = math.Hypot(fj.x0-fi.x0, fj.z-fi.z)
-			}
-			if d == 0 {
-				// Collinear filaments (same track): regularize with the
-				// mean self-GMD so the formula stays finite.
-				d = extract.SelfGMDFactor * (fi.w + fi.t + fj.w + fj.t) / 2
-			}
-			m := extract.MutualFilamentsCached(fi.length, fj.length, s, d)
-			lp.Set(i, j, m)
-			lp.Set(j, i, m)
-		}
-	}
 	return &Solver{
-		layout: l, fils: fils, lp: lp,
+		layout: l, fils: fils,
 		nNodes: len(nodeID), plus: plus, minus: minus,
 	}, nil
+}
+
+// lpEntry returns the partial inductance between filaments i and j
+// (i <= j for canonical kernel-cache keys; callers may pass either
+// order, the value is symmetric). A regular filament grid repeats the
+// same relative geometry constantly (every segment of a bus discretizes
+// identically), so the kernels go through extract's geometry-keyed
+// cache — values stay bit-identical, each unique (la, lb, s, d) is
+// integrated once per process.
+func (s *Solver) lpEntry(i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	fi := &s.fils[i]
+	if i == j {
+		return extract.SelfInductanceBarCached(fi.length, fi.w, fi.t)
+	}
+	fj := &s.fils[j]
+	if fi.dir != fj.dir {
+		return 0
+	}
+	var off, d float64
+	if fi.dir == geom.DirX {
+		off = fj.x0 - fi.x0
+		d = math.Hypot(fj.y0-fi.y0, fj.z-fi.z)
+	} else {
+		off = fj.y0 - fi.y0
+		d = math.Hypot(fj.x0-fi.x0, fj.z-fi.z)
+	}
+	if d == 0 {
+		// Collinear filaments (same track): regularize with the
+		// mean self-GMD so the formula stays finite.
+		d = extract.SelfGMDFactor * (fi.w + fi.t + fj.w + fj.t) / 2
+	}
+	return extract.MutualFilamentsCached(fi.length, fj.length, off, d)
+}
+
+// denseLP materializes (once) the dense partial-inductance matrix over
+// filaments — the exact oracle the dense solve path factorizes and the
+// compressed operator is verified against.
+func (s *Solver) denseLP() *matrix.Dense {
+	s.lpOnce.Do(func() {
+		nf := len(s.fils)
+		lp := matrix.NewDense(nf, nf)
+		for i := 0; i < nf; i++ {
+			lp.Set(i, i, s.lpEntry(i, i))
+			for j := i + 1; j < nf; j++ {
+				if s.fils[i].dir != s.fils[j].dir {
+					continue
+				}
+				m := s.lpEntry(i, j)
+				lp.Set(i, j, m)
+				lp.Set(j, i, m)
+			}
+		}
+		s.lp = lp
+	})
+	return s.lp
 }
 
 func autoDiv(dim, skin float64, maxN int) int {
@@ -230,10 +267,36 @@ func autoDiv(dim, skin float64, maxN int) int {
 // NumFilaments reports the discretization size.
 func (s *Solver) NumFilaments() int { return len(s.fils) }
 
-// Impedance returns the complex port impedance at frequency f (Hz).
+// nodeRow maps a node id to its reduced nodal index with the port
+// minus node removed as the reference (-1 for the reference itself).
+func (s *Solver) nodeRow(n int) int {
+	if n == s.minus {
+		return -1
+	}
+	if n > s.minus {
+		return n - 1
+	}
+	return n
+}
+
+// Impedance returns the complex port impedance at frequency f (Hz),
+// using the configured solve mode (see SetSolveMode): the dense complex
+// LU oracle, or matrix-free GMRES through the hierarchically
+// compressed partial-inductance operator.
 func (s *Solver) Impedance(f float64) (complex128, error) {
+	if s.effectiveMode() == ModeIterative {
+		z, _, err := s.impedanceIterative(f, nil)
+		return z, err
+	}
+	return s.impedanceDense(f)
+}
+
+// impedanceDense is the exact direct path: dense complex LU of the
+// branch impedance matrix at this frequency.
+func (s *Solver) impedanceDense(f float64) (complex128, error) {
 	omega := 2 * math.Pi * f
 	nf := len(s.fils)
+	lp := s.denseLP()
 	zb := matrix.NewCDense(nf, nf)
 	for i := 0; i < nf; i++ {
 		for j := 0; j < nf; j++ {
@@ -241,7 +304,7 @@ func (s *Solver) Impedance(f float64) (complex128, error) {
 			if i == j {
 				re = s.fils[i].r
 			}
-			zb.Set(i, j, complex(re, omega*s.lp.At(i, j)))
+			zb.Set(i, j, complex(re, omega*lp.At(i, j)))
 		}
 	}
 	lu, err := matrix.FactorComplexLU(zb)
@@ -252,16 +315,6 @@ func (s *Solver) Impedance(f float64) (complex128, error) {
 	// Nodal admittance with the port minus node as reference:
 	// Y = A Zb^{-1} A^T with A the reduced incidence matrix.
 	nn := s.nNodes - 1
-	nodeRow := func(n int) int {
-		// Map node -> reduced index (reference removed).
-		if n == s.minus {
-			return -1
-		}
-		if n > s.minus {
-			return n - 1
-		}
-		return n
-	}
 	// X[:, k] = Zb^{-1} * (A^T e_k) would need nn solves; instead solve
 	// Zb^{-1} once per filament-incidence column: W = Zb^{-1} A^T is
 	// nf x nn. Assemble A^T columns (sparse: each filament touches two
@@ -269,35 +322,53 @@ func (s *Solver) Impedance(f float64) (complex128, error) {
 	y := matrix.NewCDense(nn, nn)
 	col := make([]complex128, nf)
 	for k := 0; k < nn; k++ {
-		for i := range col {
-			col[i] = 0
-		}
-		for fi := range s.fils {
-			f := &s.fils[fi]
-			if nodeRow(f.na) == k {
-				col[fi] += 1
-			}
-			if nodeRow(f.nb) == k {
-				col[fi] -= 1
-			}
-		}
+		s.incidenceColumn(col, k)
 		w, err := lu.Solve(col)
 		if err != nil {
 			return 0, err
 		}
-		for fi := range s.fils {
-			f := &s.fils[fi]
-			if ra := nodeRow(f.na); ra >= 0 {
-				y.Add(ra, k, w[fi])
-			}
-			if rb := nodeRow(f.nb); rb >= 0 {
-				y.Add(rb, k, -w[fi])
-			}
+		s.scatterAdmittance(y, k, w)
+	}
+	return s.portSolve(y)
+}
+
+// incidenceColumn fills col with the A^T e_k column: +1/-1 at the
+// filaments whose end nodes map to reduced index k.
+func (s *Solver) incidenceColumn(col []complex128, k int) {
+	for i := range col {
+		col[i] = 0
+	}
+	for fi := range s.fils {
+		f := &s.fils[fi]
+		if s.nodeRow(f.na) == k {
+			col[fi] += 1
+		}
+		if s.nodeRow(f.nb) == k {
+			col[fi] -= 1
 		}
 	}
-	// Inject 1A into plus, out of reference; solve Y v = i.
+}
+
+// scatterAdmittance accumulates column k of Y = A W from the branch
+// current solution w.
+func (s *Solver) scatterAdmittance(y *matrix.CDense, k int, w []complex128) {
+	for fi := range s.fils {
+		f := &s.fils[fi]
+		if ra := s.nodeRow(f.na); ra >= 0 {
+			y.Add(ra, k, w[fi])
+		}
+		if rb := s.nodeRow(f.nb); rb >= 0 {
+			y.Add(rb, k, -w[fi])
+		}
+	}
+}
+
+// portSolve injects 1 A into the port plus node and solves the reduced
+// nodal system for the port voltage (= impedance).
+func (s *Solver) portSolve(y *matrix.CDense) (complex128, error) {
+	nn := y.Rows()
 	rhs := make([]complex128, nn)
-	pr := nodeRow(s.plus)
+	pr := s.nodeRow(s.plus)
 	if pr < 0 {
 		return 0, fmt.Errorf("fasthenry: port plus equals reference")
 	}
@@ -321,6 +392,9 @@ type Point struct {
 	Z    complex128
 	R    float64
 	L    float64
+	// Iters is the total GMRES iteration count across the point's nodal
+	// solves (zero on the dense path).
+	Iters int
 }
 
 // Sweep extracts the port impedance at each frequency. Points are
@@ -332,8 +406,11 @@ func (s *Solver) Sweep(freqs []float64) ([]Point, error) {
 }
 
 // LogSpace returns n logarithmically spaced frequencies in [f0, f1].
+// Degenerate requests are well defined: n <= 1 or a collapsed band
+// (f0 == f1) yield the single-point slice [f0] rather than repeated
+// points or NaN spacing from the zero-width ratio.
 func LogSpace(f0, f1 float64, n int) []float64 {
-	if n < 2 {
+	if n <= 1 || f0 == f1 {
 		return []float64{f0}
 	}
 	out := make([]float64, n)

@@ -234,6 +234,7 @@ func TestFilamentAssemblyCacheBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		s.denseLP() // materialize while this cache setting is in effect
 		return s
 	}
 	off := build(false)
@@ -244,7 +245,7 @@ func TestFilamentAssemblyCacheBitIdentical(t *testing.T) {
 	}
 	for i := 0; i < nf; i++ {
 		for j := 0; j < nf; j++ {
-			a, b := off.lp.At(i, j), on.lp.At(i, j)
+			a, b := off.denseLP().At(i, j), on.denseLP().At(i, j)
 			if math.Float64bits(a) != math.Float64bits(b) {
 				t.Fatalf("lp(%d,%d): %v != %v", i, j, a, b)
 			}

@@ -1,0 +1,284 @@
+package fasthenry
+
+import (
+	"fmt"
+	"math"
+
+	"inductance101/internal/extract"
+	"inductance101/internal/geom"
+	"inductance101/internal/matrix"
+)
+
+// Matrix-free iterative extraction path.
+//
+// The dense path assembles the nf x nf branch impedance matrix
+// Zb = R + jω Lp and LU-factors it at every frequency point: O(nf²)
+// memory and O(nf³) per point, which caps filament refinement well
+// below skin-depth-accurate discretizations. The iterative path never
+// forms Zb. Lp becomes a hierarchically compressed operator
+// (extract.CompressedL): filaments are clustered through
+// geom.Index.ClusterTree, near blocks stay exact through the kernel
+// cache, and well-separated blocks are ACA low-rank factors, so one
+// matvec is near-linear in nf. Each nodal solve then runs restarted
+// GMRES with a block-Jacobi preconditioner built from the per-cluster
+// R + jω L_self diagonal blocks, and frequency sweeps warm-start every
+// point with the previous point's branch currents.
+
+// SolveMode selects how Solver.Impedance solves the branch system.
+type SolveMode int
+
+const (
+	// ModeAuto picks the dense oracle below AutoIterativeThreshold
+	// filaments and the iterative path at or above it.
+	ModeAuto SolveMode = iota
+	// ModeDense forces the dense complex-LU oracle.
+	ModeDense
+	// ModeIterative forces matrix-free GMRES through the compressed
+	// operator.
+	ModeIterative
+)
+
+// AutoIterativeThreshold is the filament count at which ModeAuto
+// switches from the dense oracle to the iterative path. Below it the
+// dense LU is fast enough that operator construction would dominate.
+const AutoIterativeThreshold = 512
+
+// String returns the CLI spelling of the mode.
+func (m SolveMode) String() string {
+	switch m {
+	case ModeDense:
+		return "dense"
+	case ModeIterative:
+		return "iterative"
+	default:
+		return "auto"
+	}
+}
+
+// ParseSolveMode parses the -solver CLI flag value.
+func ParseSolveMode(s string) (SolveMode, error) {
+	switch s {
+	case "auto":
+		return ModeAuto, nil
+	case "dense":
+		return ModeDense, nil
+	case "iterative":
+		return ModeIterative, nil
+	}
+	return ModeAuto, fmt.Errorf("fasthenry: unknown solve mode %q (want dense, iterative or auto)", s)
+}
+
+// SetSolveMode selects the solve path. Call before the first solve:
+// the dense matrix and the compressed operator are each built once, on
+// first use by their respective paths.
+func (s *Solver) SetSolveMode(m SolveMode) { s.mode = m }
+
+// SolveModeInUse reports the mode Impedance will actually run
+// (ModeAuto resolved against the filament count).
+func (s *Solver) SolveModeInUse() SolveMode { return s.effectiveMode() }
+
+// SetACATol sets the relative tolerance of the ACA low-rank far-field
+// blocks (default 1e-8). It must be called before the first iterative
+// solve; the compressed operator is built once and cached.
+func (s *Solver) SetACATol(tol float64) { s.acaTol = tol }
+
+func (s *Solver) effectiveMode() SolveMode {
+	switch s.mode {
+	case ModeDense:
+		return ModeDense
+	case ModeIterative:
+		return ModeIterative
+	}
+	if len(s.fils) >= AutoIterativeThreshold {
+		return ModeIterative
+	}
+	return ModeDense
+}
+
+// gmresTol is the relative residual target of each branch-system
+// solve. Together with the ACA tolerance it bounds the iterative vs
+// dense port-impedance mismatch (see DESIGN.md §10: documented at
+// 1e-6 relative).
+const gmresTol = 1e-10
+
+// gmresRestart is the Krylov dimension per GMRES cycle.
+const gmresRestart = 60
+
+// compressedOp builds (once) the hierarchically compressed
+// partial-inductance operator over the solver's filaments. Safe for
+// concurrent callers; sweep workers share the cached operator.
+func (s *Solver) compressedOp() *extract.CompressedL {
+	s.opOnce.Do(func() {
+		nf := len(s.fils)
+		elems := make([]extract.HElement, nf)
+		for i := range s.fils {
+			f := &s.fils[i]
+			e := extract.HElement{Dir: int(f.dir), Z: f.z, Rad: math.Hypot(f.w, f.t) / 2}
+			if f.dir == geom.DirX {
+				e.A0, e.A1, e.Cross = f.x0, f.x0+f.length, f.y0
+			} else {
+				e.A0, e.A1, e.Cross = f.y0, f.y0+f.length, f.x0
+			}
+			elems[i] = e
+		}
+		// Cluster segments with the layout's spatial index, then expand
+		// each segment node into its filaments. Leaf size targets ~48
+		// filaments so the block-Jacobi diagonal blocks stay cheap to
+		// factor while capturing whole-conductor self coupling.
+		filsOf := make(map[int][]int)
+		var segsUsed []int
+		for i := range s.fils {
+			si := s.fils[i].seg
+			if _, ok := filsOf[si]; !ok {
+				segsUsed = append(segsUsed, si)
+			}
+			filsOf[si] = append(filsOf[si], i)
+		}
+		perSeg := (nf + len(segsUsed) - 1) / len(segsUsed)
+		leafSegs := 48 / perSeg
+		if leafSegs < 1 {
+			leafSegs = 1
+		}
+		idx := geom.NewIndex(s.layout, 0)
+		roots := idx.ClusterTree(segsUsed, leafSegs)
+		trees := extract.ElemTreesFromClusters(roots, func(si int) []int { return filsOf[si] })
+		tol := s.acaTol
+		if tol <= 0 {
+			tol = 1e-8
+		}
+		s.op = extract.CompressL(elems, trees, s.lpEntry, extract.ACAOptions{Tol: tol})
+	})
+	return s.op
+}
+
+// OperatorStats returns the compression summary of the iterative
+// path's operator (building it if needed).
+func (s *Solver) OperatorStats() extract.CompressStats {
+	return s.compressedOp().Stats()
+}
+
+// zbOp is the matrix-free branch impedance operator
+// Zb x = R x + jω (Lp x) at one frequency. Each Impedance call makes
+// its own (the scratch buffer is per-solve), so parallel sweep points
+// share only the immutable compressed operator.
+type zbOp struct {
+	s       *Solver
+	omega   float64
+	op      *extract.CompressedL
+	scratch []complex128
+}
+
+func (z *zbOp) Dim() int { return len(z.s.fils) }
+
+func (z *zbOp) ApplyTo(dst, x []complex128) {
+	z.op.ApplyCTo(z.scratch, x)
+	jw := complex(0, z.omega)
+	for i := range dst {
+		dst[i] = complex(z.s.fils[i].r, 0)*x[i] + jw*z.scratch[i]
+	}
+}
+
+// blockPrecond is the block-Jacobi preconditioner: the per-cluster
+// diagonal blocks of Zb (per-conductor R + L_self coupling), complex-LU
+// factored once per frequency point.
+type blockPrecond struct {
+	blocks []precondBlock
+}
+
+type precondBlock struct {
+	idx []int
+	lu  *matrix.CLU
+}
+
+// buildBlockPrecond factors diag(R) + jω L_cc for every diagonal leaf
+// cluster c of the compressed operator.
+func (s *Solver) buildBlockPrecond(op *extract.CompressedL, omega float64) (*blockPrecond, error) {
+	diags := op.DiagBlocks()
+	p := &blockPrecond{blocks: make([]precondBlock, 0, len(diags))}
+	for _, d := range diags {
+		n := len(d.Idx)
+		zb := matrix.NewCDense(n, n)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				re := 0.0
+				if a == b {
+					re = s.fils[d.Idx[a]].r
+				}
+				zb.Set(a, b, complex(re, omega*d.V[a*n+b]))
+			}
+		}
+		lu, err := matrix.FactorComplexLU(zb)
+		if err != nil {
+			return nil, fmt.Errorf("fasthenry: singular preconditioner block: %w", err)
+		}
+		p.blocks = append(p.blocks, precondBlock{idx: d.Idx, lu: lu})
+	}
+	return p, nil
+}
+
+// apply computes dst = M^{-1} src blockwise.
+func (p *blockPrecond) apply(dst, src []complex128) {
+	for _, b := range p.blocks {
+		rhs := make([]complex128, len(b.idx))
+		for a, i := range b.idx {
+			rhs[a] = src[i]
+		}
+		x, err := b.lu.Solve(rhs)
+		if err != nil {
+			// The factorization succeeded, so Solve cannot fail; fall
+			// back to the identity on this block out of caution.
+			copy(x, rhs)
+		}
+		for a, i := range b.idx {
+			dst[i] = x[a]
+		}
+	}
+}
+
+// impedanceIterative solves the port impedance at frequency f with
+// restarted, right-preconditioned GMRES through the compressed
+// operator. warm, when non-nil, holds one previous branch-current
+// solution per reduced node (a frequency sweep's warm starts); entries
+// are updated in place. It returns the impedance and the total GMRES
+// iterations across the nodal solves.
+func (s *Solver) impedanceIterative(f float64, warm [][]complex128) (complex128, int, error) {
+	op := s.compressedOp()
+	omega := 2 * math.Pi * f
+	pre, err := s.buildBlockPrecond(op, omega)
+	if err != nil {
+		return 0, 0, err
+	}
+	nf := len(s.fils)
+	zop := &zbOp{s: s, omega: omega, op: op, scratch: make([]complex128, nf)}
+	nn := s.nNodes - 1
+	y := matrix.NewCDense(nn, nn)
+	col := make([]complex128, nf)
+	iters := 0
+	for k := 0; k < nn; k++ {
+		s.incidenceColumn(col, k)
+		opt := matrix.GMRESOptions{
+			Restart: gmresRestart,
+			Tol:     gmresTol,
+			Precond: pre.apply,
+		}
+		if warm != nil && warm[k] != nil {
+			opt.X0 = warm[k]
+		}
+		w, res, err := matrix.GMRES(zop, col, opt)
+		if err != nil {
+			return 0, iters, fmt.Errorf("fasthenry: GMRES at %g Hz: %w", f, err)
+		}
+		iters += res.Iters
+		if !res.Converged {
+			return 0, iters, fmt.Errorf(
+				"fasthenry: GMRES stalled at %g Hz (residual %.2e after %d iterations); use the dense solve mode",
+				f, res.Residual, res.Iters)
+		}
+		if warm != nil {
+			warm[k] = w
+		}
+		s.scatterAdmittance(y, k, w)
+	}
+	z, err := s.portSolve(y)
+	return z, iters, err
+}

@@ -13,9 +13,17 @@ import (
 // SweepParallel runs the frequency sweep with one goroutine per CPU:
 // each frequency's complex solve is independent, which makes extraction
 // sweeps (the dominant cost of the loop-model flow) scale with cores.
-// Frequencies are claimed with a lock-free atomic counter, so workers
-// never serialize on a shared mutex between solves. Results are
-// identical to a serial sweep, in ascending frequency order.
+// Results come back in ascending frequency order.
+//
+// The two solve paths schedule differently. The dense path hands out
+// single frequencies with a lock-free atomic counter (every point costs
+// the same LU, so fine-grained stealing balances best). The iterative
+// path splits the ascending frequencies into one contiguous chunk per
+// worker: within a chunk each point warm-starts GMRES from the previous
+// point's branch currents, which cuts iteration counts sharply because
+// R(f), L(f) vary smoothly. All workers share the one immutable
+// compressed operator; per-point state (preconditioner, Krylov basis)
+// is worker-local.
 func (s *Solver) SweepParallel(freqs []float64, workers int) ([]Point, error) {
 	fs := append([]float64(nil), freqs...)
 	sort.Float64s(fs)
@@ -27,6 +35,22 @@ func (s *Solver) SweepParallel(freqs []float64, workers int) ([]Point, error) {
 	}
 	out := make([]Point, len(fs))
 	errs := make([]error, len(fs))
+	if s.effectiveMode() == ModeIterative {
+		s.sweepIterative(fs, workers, out, errs)
+	} else {
+		s.sweepDense(fs, workers, out, errs)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fasthenry: at %s: %w", units.FormatSI(fs[i], "Hz"), err)
+		}
+	}
+	return out, nil
+}
+
+// sweepDense claims single frequencies with an atomic counter; results
+// are identical to a serial dense sweep.
+func (s *Solver) sweepDense(fs []float64, workers int, out []Point, errs []error) {
 	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -38,7 +62,7 @@ func (s *Solver) SweepParallel(freqs []float64, workers int) ([]Point, error) {
 				if i >= len(fs) {
 					return
 				}
-				z, err := s.Impedance(fs[i])
+				z, err := s.impedanceDense(fs[i])
 				if err != nil {
 					errs[i] = err
 					continue
@@ -49,10 +73,44 @@ func (s *Solver) SweepParallel(freqs []float64, workers int) ([]Point, error) {
 		}()
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("fasthenry: at %s: %w", units.FormatSI(fs[i], "Hz"), err)
+}
+
+// sweepIterative gives each worker a contiguous ascending-frequency
+// chunk and a private warm-start state (one previous solution per
+// reduced node) that carries across the chunk.
+func (s *Solver) sweepIterative(fs []float64, workers int, out []Point, errs []error) {
+	// Build the operator once up front so workers never race the
+	// sync.Once body against their first solves' full cost.
+	s.compressedOp()
+	chunk := (len(fs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(fs) {
+			hi = len(fs)
 		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			warm := make([][]complex128, s.nNodes-1)
+			for i := lo; i < hi; i++ {
+				z, iters, err := s.impedanceIterative(fs[i], warm)
+				if err != nil {
+					errs[i] = err
+					// Warm state may be mid-update; restart cold.
+					for k := range warm {
+						warm[k] = nil
+					}
+					continue
+				}
+				r, l := RL(z, fs[i])
+				out[i] = Point{Freq: fs[i], Z: z, R: r, L: l, Iters: iters}
+			}
+		}(lo, hi)
 	}
-	return out, nil
+	wg.Wait()
 }

@@ -1,0 +1,105 @@
+package geom
+
+import "sort"
+
+// ClusterNode is one node of a spatial cluster tree over segments: a
+// binary tree built by recursive median bisection, used by the
+// hierarchically compressed partial-inductance operator in
+// internal/extract to group conductors into near (dense) and
+// well-separated (low-rank) interaction blocks.
+type ClusterNode struct {
+	// Segs lists the layout segment indices of this subtree, in the
+	// deterministic order produced by the bisection sorts.
+	Segs []int
+	// Left and Right are the two halves (nil for leaves).
+	Left, Right *ClusterNode
+}
+
+// IsLeaf reports whether the node has no children.
+func (c *ClusterNode) IsLeaf() bool { return c.Left == nil }
+
+// ClusterTree builds spatial cluster trees over the given segments, one
+// root per routing direction present (mutual inductance couples only
+// same-direction segments, so cross-direction blocks are identically
+// zero and never need a shared subtree). Each tree is grown by
+// recursive bisection: the node's segments are sorted along the widest
+// of the three spreads — position along the routing axis, cross
+// coordinate, and layer height z — and split at the median, until a
+// node holds at most leafSize segments (leafSize < 1 means 16).
+//
+// The split coordinates come from the same layout geometry the index
+// was built over; ties are broken by segment index, so the tree is
+// deterministic for a given layout and segment list.
+func (idx *Index) ClusterTree(segs []int, leafSize int) []*ClusterNode {
+	if leafSize < 1 {
+		leafSize = 16
+	}
+	l := idx.layout
+	var byDir [2][]int
+	for _, si := range segs {
+		d := 0
+		if l.Segments[si].Dir == DirY {
+			d = 1
+		}
+		byDir[d] = append(byDir[d], si)
+	}
+	var roots []*ClusterNode
+	for d := range byDir {
+		if len(byDir[d]) == 0 {
+			continue
+		}
+		roots = append(roots, l.bisect(byDir[d], leafSize))
+	}
+	return roots
+}
+
+// bisect recursively splits segs (all one direction) at the median of
+// the widest coordinate spread.
+func (l *Layout) bisect(segs []int, leafSize int) *ClusterNode {
+	node := &ClusterNode{Segs: segs}
+	if len(segs) <= leafSize {
+		return node
+	}
+	// Coordinate spreads: axis-centre, cross coordinate, z.
+	coord := func(dim int, si int) float64 {
+		s := &l.Segments[si]
+		switch dim {
+		case 0:
+			lo, hi := s.AxisSpan()
+			return (lo + hi) / 2
+		case 1:
+			return s.CrossCoord()
+		default:
+			return l.Z(si)
+		}
+	}
+	best, bestSpread := 0, -1.0
+	for dim := 0; dim < 3; dim++ {
+		lo, hi := coord(dim, segs[0]), coord(dim, segs[0])
+		for _, si := range segs[1:] {
+			c := coord(dim, si)
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if s := hi - lo; s > bestSpread {
+			best, bestSpread = dim, s
+		}
+	}
+	sorted := append([]int(nil), segs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		ci, cj := coord(best, sorted[i]), coord(best, sorted[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return sorted[i] < sorted[j]
+	})
+	mid := len(sorted) / 2
+	node.Segs = sorted
+	node.Left = l.bisect(sorted[:mid], leafSize)
+	node.Right = l.bisect(sorted[mid:], leafSize)
+	return node
+}

@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func clusterTestLayout(rng *rand.Rand, nSegs int) (*Layout, []int) {
+	l := NewLayout([]Layer{
+		{Name: "M5", Z: 4e-6, Thickness: 1e-6, SheetRho: 0.025, HBelow: 1e-6},
+		{Name: "M6", Z: 6e-6, Thickness: 1.2e-6, SheetRho: 0.018, HBelow: 1e-6},
+	})
+	segs := make([]int, nSegs)
+	for i := range segs {
+		dir := DirX
+		if rng.Intn(2) == 1 {
+			dir = DirY
+		}
+		segs[i] = l.AddSegment(Segment{
+			Layer: rng.Intn(2), Dir: dir,
+			X0: rng.Float64() * 300e-6, Y0: rng.Float64() * 300e-6,
+			Length: 20e-6 + rng.Float64()*200e-6,
+			Width:  0.5e-6 + rng.Float64()*2e-6,
+			Net:    "n", NodeA: "a", NodeB: "b",
+		})
+	}
+	return l, segs
+}
+
+// collectLeaves gathers leaf segment lists depth-first.
+func collectLeaves(n *ClusterNode, out *[][]int) {
+	if n.IsLeaf() {
+		*out = append(*out, n.Segs)
+		return
+	}
+	collectLeaves(n.Left, out)
+	collectLeaves(n.Right, out)
+}
+
+func TestClusterTreePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	l, segs := clusterTestLayout(rng, 97)
+	idx := NewIndex(l, 0)
+	leafSize := 8
+	roots := idx.ClusterTree(segs, leafSize)
+	if len(roots) == 0 {
+		t.Fatal("no roots")
+	}
+	var all []int
+	for _, r := range roots {
+		// Every root holds segments of a single direction.
+		d := l.Segments[r.Segs[0]].Dir
+		for _, si := range r.Segs {
+			if l.Segments[si].Dir != d {
+				t.Fatalf("root mixes directions")
+			}
+		}
+		var leaves [][]int
+		collectLeaves(r, &leaves)
+		for _, leaf := range leaves {
+			if len(leaf) == 0 || len(leaf) > leafSize {
+				t.Fatalf("leaf size %d outside (0, %d]", len(leaf), leafSize)
+			}
+			all = append(all, leaf...)
+		}
+		// Internal consistency: a node's Segs is the concatenation of
+		// its children's.
+		var walk func(n *ClusterNode)
+		walk = func(n *ClusterNode) {
+			if n.IsLeaf() {
+				return
+			}
+			if len(n.Left.Segs)+len(n.Right.Segs) != len(n.Segs) {
+				t.Fatalf("node split %d+%d != %d",
+					len(n.Left.Segs), len(n.Right.Segs), len(n.Segs))
+			}
+			walk(n.Left)
+			walk(n.Right)
+		}
+		walk(r)
+	}
+	// The leaves partition the input exactly.
+	sort.Ints(all)
+	want := append([]int(nil), segs...)
+	sort.Ints(want)
+	if len(all) != len(want) {
+		t.Fatalf("leaves hold %d segments, want %d", len(all), len(want))
+	}
+	for i := range all {
+		if all[i] != want[i] {
+			t.Fatalf("leaf segments differ from input at %d: %d vs %d", i, all[i], want[i])
+		}
+	}
+}
+
+func TestClusterTreeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	l, segs := clusterTestLayout(rng, 50)
+	idx := NewIndex(l, 0)
+	a := idx.ClusterTree(segs, 6)
+	b := idx.ClusterTree(segs, 6)
+	var eq func(x, y *ClusterNode) bool
+	eq = func(x, y *ClusterNode) bool {
+		if len(x.Segs) != len(y.Segs) {
+			return false
+		}
+		for i := range x.Segs {
+			if x.Segs[i] != y.Segs[i] {
+				return false
+			}
+		}
+		if x.IsLeaf() != y.IsLeaf() {
+			return false
+		}
+		if x.IsLeaf() {
+			return true
+		}
+		return eq(x.Left, y.Left) && eq(x.Right, y.Right)
+	}
+	if len(a) != len(b) {
+		t.Fatal("root counts differ between identical builds")
+	}
+	for i := range a {
+		if !eq(a[i], b[i]) {
+			t.Fatal("cluster tree not deterministic")
+		}
+	}
+}
+
+func TestClusterTreeSmallInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	l, segs := clusterTestLayout(rng, 3)
+	idx := NewIndex(l, 0)
+	// leafSize < 1 defaults; a tiny input yields leaf roots.
+	roots := idx.ClusterTree(segs, 0)
+	total := 0
+	for _, r := range roots {
+		if !r.IsLeaf() {
+			t.Fatal("3 segments with default leaf size must be leaves")
+		}
+		total += len(r.Segs)
+	}
+	if total != 3 {
+		t.Fatalf("roots hold %d segments, want 3", total)
+	}
+	if got := idx.ClusterTree(nil, 4); len(got) != 0 {
+		t.Fatalf("empty input produced %d roots", len(got))
+	}
+}

@@ -1,0 +1,398 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Matrix-free iterative solvers: restarted GMRES(m) for general complex
+// systems and preconditioned CG for the SPD real case. Both operate on
+// pluggable operator interfaces so callers can plug in compressed or
+// implicitly defined matrices (the FastHenry-style extraction solves
+// R + jωL systems through a hierarchically compressed partial-inductance
+// operator without ever forming the dense matrix).
+
+// LinearOperator is a matrix-free real linear operator y = A x.
+type LinearOperator interface {
+	// Dim returns the (square) operator dimension.
+	Dim() int
+	// ApplyTo computes dst = A*x. dst and x have length Dim and must
+	// not alias.
+	ApplyTo(dst, x []float64)
+}
+
+// CLinearOperator is a matrix-free complex linear operator y = A x.
+type CLinearOperator interface {
+	Dim() int
+	// ApplyTo computes dst = A*x. dst and x have length Dim and must
+	// not alias.
+	ApplyTo(dst, x []complex128)
+}
+
+// DenseOp adapts a square Dense matrix to LinearOperator.
+type DenseOp struct{ M *Dense }
+
+// Dim returns the matrix dimension.
+func (o DenseOp) Dim() int { return o.M.Rows() }
+
+// ApplyTo computes dst = M*x.
+func (o DenseOp) ApplyTo(dst, x []float64) { o.M.MulVecTo(dst, x) }
+
+// CSCOp adapts a square sparse CSC matrix to LinearOperator.
+type CSCOp struct{ M *CSC }
+
+// Dim returns the matrix dimension.
+func (o CSCOp) Dim() int { return o.M.Rows() }
+
+// ApplyTo computes dst = M*x.
+func (o CSCOp) ApplyTo(dst, x []float64) { o.M.MulVecTo(dst, x) }
+
+// CDenseOp adapts a square CDense matrix to CLinearOperator.
+type CDenseOp struct{ M *CDense }
+
+// Dim returns the matrix dimension.
+func (o CDenseOp) Dim() int { return o.M.Rows() }
+
+// ApplyTo computes dst = M*x.
+func (o CDenseOp) ApplyTo(dst, x []complex128) {
+	if o.M.Cols() != len(x) {
+		panic("matrix: CDenseOp ApplyTo dimension mismatch")
+	}
+	n := o.M.Rows()
+	for i := 0; i < n; i++ {
+		var s complex128
+		row := o.M.data[i*o.M.cols : (i+1)*o.M.cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// IterResult reports how an iterative solve went.
+type IterResult struct {
+	// Iters is the number of operator applications (Krylov steps).
+	Iters int
+	// Restarts counts completed GMRES restart cycles beyond the first.
+	Restarts int
+	// Residual is the final relative residual ||b - A x|| / ||b||.
+	Residual float64
+	// Converged reports whether Residual reached the tolerance.
+	Converged bool
+}
+
+// GMRESOptions tunes the restarted GMRES solve.
+type GMRESOptions struct {
+	// Restart is the Krylov subspace dimension per cycle (default 30,
+	// capped at the operator dimension).
+	Restart int
+	// Tol is the relative residual target ||b - A x|| / ||b||
+	// (default 1e-10).
+	Tol float64
+	// MaxIters caps the total operator applications (default
+	// max(100, 10n)).
+	MaxIters int
+	// X0 is the initial guess (nil = zero). Frequency sweeps warm-start
+	// each point with the previous point's solution.
+	X0 []complex128
+	// Precond applies a right preconditioner: dst = M^{-1} src. The
+	// iteration solves A M^{-1} u = b and returns x = M^{-1} u, so the
+	// reported residual is the true (unpreconditioned) one. dst and src
+	// must not alias. nil means no preconditioning.
+	Precond func(dst, src []complex128)
+}
+
+func cnorm(v []complex128) float64 {
+	s := 0.0
+	for _, z := range v {
+		s += real(z)*real(z) + imag(z)*imag(z)
+	}
+	return math.Sqrt(s)
+}
+
+// cdotc returns the conjugated inner product a^H b.
+func cdotc(a, b []complex128) complex128 {
+	var s complex128
+	for i, z := range a {
+		s += cmplx.Conj(z) * b[i]
+	}
+	return s
+}
+
+// GMRES solves A x = b with restarted GMRES(m), modified Gram-Schmidt
+// Arnoldi and Givens rotations. Each restart recomputes the true
+// residual, so the reported IterResult.Residual is never an estimate
+// drifted by rounding. Returns the best iterate found together with the
+// iteration statistics; check IterResult.Converged — a non-converged
+// solve is not an error (the caller may fall back to a direct solve).
+func GMRES(op CLinearOperator, b []complex128, opt GMRESOptions) ([]complex128, IterResult, error) {
+	n := op.Dim()
+	if len(b) != n {
+		return nil, IterResult{}, fmt.Errorf("matrix: GMRES rhs length %d, want %d", len(b), n)
+	}
+	m := opt.Restart
+	if m <= 0 {
+		m = 30
+	}
+	if m > n {
+		m = n
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	maxIt := opt.MaxIters
+	if maxIt <= 0 {
+		maxIt = 10 * n
+		if maxIt < 100 {
+			maxIt = 100
+		}
+	}
+	x := make([]complex128, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, IterResult{}, fmt.Errorf("matrix: GMRES x0 length %d, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+	}
+	res := IterResult{}
+	bnorm := cnorm(b)
+	if bnorm == 0 {
+		// A x = 0 has the exact solution x = 0 for any nonsingular A.
+		for i := range x {
+			x[i] = 0
+		}
+		res.Converged = true
+		return x, res, nil
+	}
+
+	// Workspace: Krylov basis, Hessenberg columns (upper-triangular
+	// after rotations), Givens sines/cosines, rotated rhs.
+	v := make([][]complex128, m+1)
+	hc := make([][]complex128, m)
+	cs := make([]complex128, m)
+	sn := make([]complex128, m)
+	g := make([]complex128, m+1)
+	w := make([]complex128, n)
+	z := make([]complex128, n)
+
+	for {
+		// True residual r = b - A x.
+		op.ApplyTo(w, x)
+		if v[0] == nil {
+			v[0] = make([]complex128, n)
+		}
+		for i := range w {
+			v[0][i] = b[i] - w[i]
+		}
+		beta := cnorm(v[0])
+		res.Residual = beta / bnorm
+		if res.Residual <= tol {
+			res.Converged = true
+			return x, res, nil
+		}
+		if res.Iters >= maxIt {
+			return x, res, nil
+		}
+		inv := complex(1/beta, 0)
+		for i := range v[0] {
+			v[0][i] *= inv
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = complex(beta, 0)
+
+		j := 0
+		for ; j < m && res.Iters < maxIt; j++ {
+			res.Iters++
+			// w = A M^{-1} v_j.
+			av := v[j]
+			if opt.Precond != nil {
+				opt.Precond(z, v[j])
+				av = z
+			}
+			op.ApplyTo(w, av)
+			// Modified Gram-Schmidt.
+			if hc[j] == nil {
+				hc[j] = make([]complex128, m+1)
+			}
+			col := hc[j]
+			for i := 0; i <= j; i++ {
+				h := cdotc(v[i], w)
+				col[i] = h
+				for k := range w {
+					w[k] -= h * v[i][k]
+				}
+			}
+			hj1 := cnorm(w)
+			col[j+1] = complex(hj1, 0)
+			// Apply the accumulated rotations to the new column.
+			for i := 0; i < j; i++ {
+				t := cmplx.Conj(cs[i])*col[i] + cmplx.Conj(sn[i])*col[i+1]
+				col[i+1] = -sn[i]*col[i] + cs[i]*col[i+1]
+				col[i] = t
+			}
+			// New rotation annihilating col[j+1].
+			r2 := math.Hypot(cmplx.Abs(col[j]), cmplx.Abs(col[j+1]))
+			if r2 == 0 {
+				cs[j], sn[j] = 1, 0
+			} else {
+				cs[j] = col[j] / complex(r2, 0)
+				sn[j] = col[j+1] / complex(r2, 0)
+			}
+			col[j] = complex(r2, 0)
+			col[j+1] = 0
+			t := cmplx.Conj(cs[j])*g[j] + cmplx.Conj(sn[j])*g[j+1]
+			g[j+1] = -sn[j]*g[j] + cs[j]*g[j+1]
+			g[j] = t
+			res.Residual = cmplx.Abs(g[j+1]) / bnorm
+			if hj1 == 0 {
+				// Happy breakdown: the Krylov space is invariant.
+				j++
+				break
+			}
+			if res.Residual <= tol {
+				j++
+				break
+			}
+			if v[j+1] == nil {
+				v[j+1] = make([]complex128, n)
+			}
+			inv := complex(1/hj1, 0)
+			for k := range w {
+				v[j+1][k] = w[k] * inv
+			}
+		}
+		// Back-substitute R y = g and accumulate x += M^{-1} (V y).
+		y := make([]complex128, j)
+		for i := j - 1; i >= 0; i-- {
+			s := g[i]
+			for k := i + 1; k < j; k++ {
+				s -= hc[k][i] * y[k]
+			}
+			if hc[i][i] == 0 {
+				return x, res, ErrSingular
+			}
+			y[i] = s / hc[i][i]
+		}
+		for k := range w {
+			w[k] = 0
+		}
+		for i := 0; i < j; i++ {
+			yi := y[i]
+			for k := range w {
+				w[k] += yi * v[i][k]
+			}
+		}
+		if opt.Precond != nil {
+			opt.Precond(z, w)
+			for k := range x {
+				x[k] += z[k]
+			}
+		} else {
+			for k := range x {
+				x[k] += w[k]
+			}
+		}
+		res.Restarts++
+	}
+}
+
+// PCGOptions tunes the operator-level conjugate-gradient solve (the
+// matrix-free analogue of CGOptions, which configures the CSR solvers).
+type PCGOptions struct {
+	// Tol is the relative residual target (default 1e-10).
+	Tol float64
+	// MaxIters caps iterations (default max(100, 10n)).
+	MaxIters int
+	// X0 is the initial guess (nil = zero).
+	X0 []float64
+	// Precond applies an SPD preconditioner: dst = M^{-1} src.
+	// dst and src must not alias. nil means no preconditioning.
+	Precond func(dst, src []float64)
+}
+
+// CG solves A x = b for a symmetric positive-definite operator with
+// preconditioned conjugate gradients. Check IterResult.Converged; a
+// stalled solve is reported, not an error.
+func CG(op LinearOperator, b []float64, opt PCGOptions) ([]float64, IterResult, error) {
+	n := op.Dim()
+	if len(b) != n {
+		return nil, IterResult{}, fmt.Errorf("matrix: CG rhs length %d, want %d", len(b), n)
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	maxIt := opt.MaxIters
+	if maxIt <= 0 {
+		maxIt = 10 * n
+		if maxIt < 100 {
+			maxIt = 100
+		}
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, IterResult{}, fmt.Errorf("matrix: CG x0 length %d, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+		op.ApplyTo(r, x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+	} else {
+		copy(r, b)
+	}
+	res := IterResult{}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		res.Converged = true
+		return x, res, nil
+	}
+	zv := make([]float64, n)
+	applyPre := func(dst, src []float64) {
+		if opt.Precond != nil {
+			opt.Precond(dst, src)
+		} else {
+			copy(dst, src)
+		}
+	}
+	applyPre(zv, r)
+	p := CloneVec(zv)
+	ap := make([]float64, n)
+	rz := Dot(r, zv)
+	for {
+		res.Residual = Norm2(r) / bnorm
+		if res.Residual <= tol {
+			res.Converged = true
+			return x, res, nil
+		}
+		if res.Iters >= maxIt {
+			return x, res, nil
+		}
+		res.Iters++
+		op.ApplyTo(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			// Not SPD (or breakdown): report what we have.
+			return x, res, fmt.Errorf("matrix: CG breakdown, operator not SPD (p·Ap = %g)", pap)
+		}
+		alpha := rz / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		applyPre(zv, r)
+		rzNew := Dot(r, zv)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = zv[i] + beta*p[i]
+		}
+	}
+}

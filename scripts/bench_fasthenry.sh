@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerate BENCH_fasthenry.json: FastHenry-style loop-extraction
+# frequency sweeps, dense complex LU vs matrix-free GMRES over the
+# hierarchically compressed (ACA) partial-inductance operator, at
+# three filament counts. Also asserts the iterative path matches the
+# dense oracle to 1e-6 relative at every benchmarked size.
+# Run from anywhere in the repo.
+set -e
+cd "$(dirname "$0")/.."
+BENCH_FASTHENRY=1 go test -run TestBenchFasthenrySnapshot -v -timeout 30m . "$@"

@@ -22,6 +22,8 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
+# The fasthenry package includes the iterative-sweep race coverage: a
+# shared ACA-compressed operator driven by parallel frequency workers.
 echo "== race detector (matrix, extract, fasthenry, sim)"
 go test -race ./internal/matrix ./internal/extract ./internal/fasthenry ./internal/sim
 
