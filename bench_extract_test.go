@@ -119,12 +119,12 @@ func TestBenchExtractSnapshot(t *testing.T) {
 	extract.SetKernelCache(true)
 	measure("bus64_inductance_cache_cold", func() {
 		extract.ResetKernelCache()
-		extract.InductanceMatrix(bus, busSegs, math.Inf(1), gmd)
+		extract.InductanceMatrix(bus, busSegs, math.Inf(1), gmd, extract.DefaultCacheRef())
 	})
 	speedupVs(busOff)
 	coldStats := extract.KernelCacheStats()
 	measure("bus64_inductance_cache_warm", func() {
-		extract.InductanceMatrix(bus, busSegs, math.Inf(1), gmd)
+		extract.InductanceMatrix(bus, busSegs, math.Inf(1), gmd, extract.DefaultCacheRef())
 	})
 	speedupVs(busOff)
 
@@ -182,13 +182,13 @@ func TestBenchExtractSnapshot(t *testing.T) {
 		bruteForceWindowed(gm.Layout, gridSegs, spec.Pitch, extract.GMDOptions{})
 	})
 	measure("grid2400_windowed_indexed", func() {
-		extract.InductanceMatrix(gm.Layout, gridSegs, spec.Pitch, extract.GMDOptions{})
+		extract.InductanceMatrix(gm.Layout, gridSegs, spec.Pitch, extract.GMDOptions{}, extract.DefaultCacheRef())
 	})
 	speedupVs(gridBrute)
 	extract.SetKernelCache(true)
 	measure("grid2400_windowed_indexed_cache", func() {
 		extract.ResetKernelCache()
-		extract.InductanceMatrix(gm.Layout, gridSegs, spec.Pitch, extract.GMDOptions{})
+		extract.InductanceMatrix(gm.Layout, gridSegs, spec.Pitch, extract.GMDOptions{}, extract.DefaultCacheRef())
 	})
 	speedupVs(gridBrute)
 

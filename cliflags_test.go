@@ -1,0 +1,59 @@
+package repro
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIRejectsUnknownEnumFlags pins the fail-fast contract of every
+// enum-valued CLI flag: an unknown value exits nonzero with a one-line
+// error on stderr, before the tool opens files or starts extracting.
+func TestCLIRejectsUnknownEnumFlags(t *testing.T) {
+	dir := buildTools(t)
+	cases := []struct {
+		tool string
+		args []string
+	}{
+		{"inductx", []string{"-solver", "bogus", "nonexistent.json"}},
+		{"inductx", []string{"-kernelcache", "maybe", "nonexistent.json"}},
+		{"inductx", []string{"-l", "verbose", "nonexistent.json"}},
+		{"rlsweep", []string{"-solver", "bogus"}},
+		{"rlsweep", []string{"-kernelcache", "maybe"}},
+		{"clocksim", []string{"-kernelcache", "sometimes"}},
+		{"gridnoise", []string{"-irsolver", "quantum"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.tool+"/"+tc.args[0], func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command(filepath.Join(dir, tc.tool), tc.args...)
+			var stderr strings.Builder
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			if err == nil {
+				t.Fatalf("%s %v exited zero on a bad enum value", tc.tool, tc.args)
+			}
+			if _, ok := err.(*exec.ExitError); !ok {
+				t.Fatalf("%s %v did not run: %v", tc.tool, tc.args, err)
+			}
+			msg := strings.TrimRight(stderr.String(), "\n")
+			if msg == "" {
+				t.Fatalf("%s %v printed nothing to stderr", tc.tool, tc.args)
+			}
+			if strings.Contains(msg, "\n") {
+				t.Errorf("%s %v error is not one line:\n%s", tc.tool, tc.args, msg)
+			}
+			bad := tc.args[1]
+			if !strings.Contains(msg, bad) {
+				t.Errorf("%s %v error does not name the bad value %q: %q", tc.tool, tc.args, bad, msg)
+			}
+			// Fail-fast: the bad flag must be rejected before the tool
+			// tries (and fails) to open the nonexistent input file.
+			if strings.Contains(msg, "nonexistent.json") {
+				t.Errorf("%s %v validated the flag only after touching the input: %q", tc.tool, tc.args, msg)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"inductance101/internal/core"
+	"inductance101/internal/engine"
 	"inductance101/internal/units"
 )
 
@@ -28,10 +29,27 @@ func main() {
 		tstep   = flag.Float64("tstep", 0, "transient step (s); 0 = default")
 		strats  = flag.Bool("strategies", false, "also run the sparsified/PRIMA strategies")
 		wavecsv = flag.String("waveforms", "", "write sink waveforms of each model to this CSV file")
+		workers = flag.Int("workers", 0, "solver/extraction goroutine cap (0 = all cores, 1 = serial)")
+		kcache  = flag.String("kernelcache", "on", "kernel cache: on | off | private (per-run)")
 	)
 	flag.Parse()
 
+	// Flags translate into the run config up front; a bad enum value
+	// fails before any extraction starts.
+	cfg := engine.Config{Workers: *workers}
+	switch *kcache {
+	case "on":
+		cfg.Cache = engine.CacheDefault
+	case "off":
+		cfg.Cache = engine.CacheOff
+	case "private":
+		cfg.Cache = engine.CachePrivate
+	default:
+		fatal(fmt.Errorf("-kernelcache must be on, off or private, got %q", *kcache))
+	}
+
 	opt := core.DefaultCaseOptions()
+	opt.Engine = cfg
 	opt.Grid.NX, opt.Grid.NY = *nx, *ny
 	opt.Grid.Pitch = *pitch
 	opt.ClockLevels = *levels

@@ -33,6 +33,11 @@ func main() {
 		irsolv = flag.String("irsolver", "dense", "static IR solver: dense, cg or chol")
 	)
 	flag.Parse()
+	// A bad -irsolver fails here, before the grid is built or the
+	// transient runs.
+	if err := supply.ValidateIRSolver(*irsolv); err != nil {
+		fatal(err)
+	}
 
 	spec := supply.DefaultSpec()
 	spec.Grid = grid.Spec{NX: *nx, NY: *ny, Pitch: *pitch, Width: 4e-6, LayerX: 0, LayerY: 1, ViaR: 0.4}

@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"inductance101/internal/circuit"
+	"inductance101/internal/engine"
 	"inductance101/internal/extract"
 	"inductance101/internal/geom"
 	"inductance101/internal/grid"
@@ -46,12 +47,31 @@ func main() {
 		verbose = flag.Bool("v", false, "print extraction diagnostics (kernel cache hit/miss counters, operator compression)")
 	)
 	flag.Parse()
+
+	// Every enum flag is validated before any file is opened or work is
+	// done: a typo fails in milliseconds with a one-line error.
+	cfg := engine.Config{ACATol: *acatol}
 	switch *kcache {
 	case "on":
+		cfg.Cache = engine.CacheDefault
 	case "off":
-		extract.SetKernelCache(false)
+		cfg.Cache = engine.CacheOff
 	default:
 		fatal(fmt.Errorf("-kernelcache must be on or off, got %q", *kcache))
+	}
+	switch *solver {
+	case "dense", "iterative", "auto":
+	default:
+		fatal(fmt.Errorf("-solver must be dense, iterative or auto, got %q", *solver))
+	}
+	switch *lMode {
+	case "matrix", "summary", "none":
+	default:
+		fatal(fmt.Errorf("unknown -l mode %q", *lMode))
+	}
+	sess, err := engine.NewChecked(cfg)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *sample {
@@ -78,13 +98,10 @@ func main() {
 	const autoCompressSegments = 256
 	compressed := false
 	switch *solver {
-	case "dense":
 	case "iterative":
 		compressed = true
 	case "auto":
 		compressed = len(lay.Segments) >= autoCompressSegments
-	default:
-		fatal(fmt.Errorf("-solver must be dense, iterative or auto, got %q", *solver))
 	}
 	if compressed && *window > 0 {
 		fatal(fmt.Errorf("-solver iterative needs an unlimited -window: windowing and hierarchical compression are competing sparsifications"))
@@ -93,7 +110,7 @@ func main() {
 		fatal(fmt.Errorf("-spice needs the dense inductance matrix; use -solver dense"))
 	}
 
-	opt := extract.DefaultOptions()
+	opt := sess.ExtractOptions()
 	if *window > 0 {
 		opt.MutualWindow = *window
 	}
@@ -101,7 +118,8 @@ func main() {
 	par := extract.Extract(lay, opt)
 	var op *extract.CompressedL
 	if compressed {
-		op = extract.CompressInductance(lay, par.Segs, opt.GMD, extract.ACAOptions{Tol: *acatol})
+		op = extract.CompressInductance(lay, par.Segs, opt.GMD,
+			extract.ACAOptions{Tol: sess.Config().ACATol}, sess.CacheRef())
 	}
 	// lAt reads partial inductances through whichever representation
 	// was built; the compressed accessor reconstructs far entries from
@@ -126,7 +144,7 @@ func main() {
 	fmt.Printf("extracted %d segments: %d R, %d self L, %d mutuals, %d ground caps, %d coupling caps\n",
 		len(par.Segs), st.NumR, st.NumL, st.NumMutual, st.NumCGround, st.NumCCouple)
 	if *verbose {
-		cs := extract.KernelCacheStats()
+		cs := sess.CacheStats()
 		if cs.Enabled {
 			fmt.Printf("kernel cache: %d hits, %d misses (%.1f%% hit rate), %d entries\n",
 				cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Entries)
@@ -192,9 +210,6 @@ func main() {
 				par.Segs[wi], par.Segs[wj], worst,
 				units.FormatSI(wm, "H"))
 		}
-	case "none":
-	default:
-		fatal(fmt.Errorf("unknown -l mode %q", *lMode))
 	}
 
 	if *spice != "" {

@@ -24,7 +24,7 @@ import (
 	"os"
 	"strings"
 
-	"inductance101/internal/extract"
+	"inductance101/internal/engine"
 	"inductance101/internal/fasthenry"
 	"inductance101/internal/geom"
 	"inductance101/internal/layoutio"
@@ -66,12 +66,26 @@ func main() {
 	)
 	flag.Var(&shorts, "short", "short two nodes, nodeA=nodeB (repeatable; with -layout)")
 	flag.Parse()
+
+	// Enum flags are validated into the run config before any file is
+	// opened or filament is built: a typo fails in milliseconds.
+	cfg := engine.Config{ACATol: *acatol}
 	switch *kcache {
 	case "on":
+		cfg.Cache = engine.CacheDefault
 	case "off":
-		extract.SetKernelCache(false)
+		cfg.Cache = engine.CacheOff
 	default:
 		fatal(fmt.Errorf("-kernelcache must be on or off, got %q", *kcache))
+	}
+	mode, err := fasthenry.ParseSolveMode(*solver)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.SolveMode = mode
+	sess, err := engine.NewChecked(cfg)
+	if err != nil {
+		fatal(err)
 	}
 
 	var (
@@ -103,16 +117,10 @@ func main() {
 		lay, segs, port, sh = builtin(*length, *width, *pitch)
 	}
 
-	mode, err := fasthenry.ParseSolveMode(*solver)
+	s, err := fasthenry.NewSolver(lay, segs, port, sh, *fstop, sess.SolverOptions())
 	if err != nil {
 		fatal(err)
 	}
-	s, err := fasthenry.NewSolver(lay, segs, port, sh, *fstop, fasthenry.Options{})
-	if err != nil {
-		fatal(err)
-	}
-	s.SetSolveMode(mode)
-	s.SetACATol(*acatol)
 	fmt.Fprintf(os.Stderr, "rlsweep: %d filaments\n", s.NumFilaments())
 	if *verb {
 		fmt.Fprintf(os.Stderr, "rlsweep: solver %s\n", s.SolveModeInUse())
@@ -126,7 +134,7 @@ func main() {
 		fmt.Printf("%g,%g,%g\n", p.Freq, p.R, p.L)
 	}
 	if *verb {
-		if cs := extract.KernelCacheStats(); cs.Enabled {
+		if cs := sess.CacheStats(); cs.Enabled {
 			fmt.Fprintf(os.Stderr, "rlsweep: kernel cache: %d hits, %d misses (%.1f%% hit rate), %d entries\n",
 				cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Entries)
 		} else {

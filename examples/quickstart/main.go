@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"inductance101/internal/circuit"
+	"inductance101/internal/engine"
 	"inductance101/internal/extract"
 	"inductance101/internal/geom"
 	"inductance101/internal/sim"
@@ -14,6 +15,11 @@ import (
 )
 
 func main() {
+	// One Session carries the run's configuration (workers, solver
+	// choice, cache policy) through every stage. The zero Config is the
+	// library default; results are bit-identical at any worker count.
+	sess := engine.New(engine.Config{})
+
 	// A 2mm global wire with a ground return 10um away, on a thick
 	// upper metal layer.
 	lay := geom.NewLayout([]geom.Layer{
@@ -29,7 +35,7 @@ func main() {
 	})
 
 	// 1. Extraction: partial R, L, C.
-	par := extract.Extract(lay, extract.DefaultOptions())
+	par := extract.Extract(lay, sess.ExtractOptions())
 	lSig := par.L.At(0, 0)
 	m := par.L.At(0, 1)
 	loopL := extract.LoopInductanceTwoWire(par.L.At(0, 0), par.L.At(1, 1), m)
@@ -59,7 +65,9 @@ func main() {
 		}
 		n.AddC("cwire", "c", "0", cTot)
 		n.AddC("cload", "c", "0", 150e-15)
-		res, err := sim.Tran(n, sim.TranOptions{TStop: 3e-9, TStep: 1e-12})
+		res, err := sim.Tran(n, sim.TranOptions{
+			TStop: 3e-9, TStep: 1e-12, Policy: sess.SimPolicy(),
+		})
 		if err != nil {
 			panic(err)
 		}

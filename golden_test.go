@@ -29,7 +29,7 @@ var (
 	buildErr  error
 )
 
-// buildTools compiles all four CLI tools once per test process.
+// buildTools compiles all five CLI tools once per test process.
 func buildTools(t *testing.T) string {
 	t.Helper()
 	buildOnce.Do(func() {
@@ -38,7 +38,8 @@ func buildTools(t *testing.T) string {
 			return
 		}
 		cmd := exec.Command("go", "build", "-o", buildDir+string(os.PathSeparator),
-			"./cmd/rlsweep", "./cmd/inductx", "./cmd/clocksim", "./cmd/gridnoise")
+			"./cmd/rlsweep", "./cmd/inductx", "./cmd/clocksim", "./cmd/gridnoise",
+			"./cmd/designopt")
 		out, err := cmd.CombinedOutput()
 		if err != nil {
 			buildErr = err
@@ -143,4 +144,10 @@ func TestGoldenClocksim(t *testing.T) {
 func TestGoldenGridnoise(t *testing.T) {
 	dir := buildTools(t)
 	checkGolden(t, "gridnoise", runTool(t, filepath.Join(dir, "gridnoise")))
+}
+
+func TestGoldenDesignopt(t *testing.T) {
+	dir := buildTools(t)
+	// Seeded run: net properties and annealing are deterministic.
+	checkGolden(t, "designopt", runTool(t, filepath.Join(dir, "designopt")))
 }

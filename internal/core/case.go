@@ -12,6 +12,7 @@ import (
 
 	"inductance101/internal/circuit"
 	"inductance101/internal/decap"
+	"inductance101/internal/engine"
 	"inductance101/internal/extract"
 	"inductance101/internal/geom"
 	"inductance101/internal/grid"
@@ -51,6 +52,11 @@ type CaseOptions struct {
 	BackgroundPeak float64
 	Package        pkgmodel.Connection
 	Seed           int64
+
+	// Engine is the run-scoped solver configuration (workers, cache
+	// policy, solve mode, sparse threshold). The zero value inherits
+	// every process default.
+	Engine engine.Config
 }
 
 // DefaultCaseOptions returns the scaled-down Table 1 workload.
@@ -84,6 +90,9 @@ type ClockCase struct {
 	Opt   CaseOptions
 	Grid  *grid.Model
 	Clock *grid.ClockNet
+	// Sess owns the case's kernel cache and mints the per-layer option
+	// structs every flow threads through the stack.
+	Sess *engine.Session
 	// Par holds the full PEEC extraction of every segment (grid +
 	// clock) with the dense partial inductance matrix.
 	Par *extract.Parasitics
@@ -96,6 +105,10 @@ type ClockCase struct {
 
 // NewClockCase builds the layout and runs the full extraction.
 func NewClockCase(opt CaseOptions) (*ClockCase, error) {
+	sess, err := engine.NewChecked(opt.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	gm, err := grid.BuildPowerGrid(grid.StandardLayers(), opt.Grid)
 	if err != nil {
 		return nil, err
@@ -120,8 +133,8 @@ func NewClockCase(opt CaseOptions) (*ClockCase, error) {
 	if err := gm.Layout.Validate(); err != nil {
 		return nil, fmt.Errorf("core: generated layout invalid: %w", err)
 	}
-	par := extract.Extract(gm.Layout, extract.DefaultOptions())
-	c := &ClockCase{Opt: opt, Grid: gm, Clock: cn, Par: par}
+	par := extract.Extract(gm.Layout, sess.ExtractOptions())
+	c := &ClockCase{Opt: opt, Grid: gm, Clock: cn, Sess: sess, Par: par}
 	c.DriverVdd, c.DriverGnd = gm.NearestGridNodes(cs.CX, cs.CY)
 
 	if opt.DecapWidth > 0 {
@@ -136,6 +149,15 @@ func NewClockCase(opt CaseOptions) (*ClockCase, error) {
 		c.decapEst = est
 	}
 	return c, nil
+}
+
+// session returns the case's engine session, tolerating hand-built
+// ClockCase literals (tests) by falling back to a default session.
+func (c *ClockCase) session() *engine.Session {
+	if c.Sess == nil {
+		c.Sess = engine.New(engine.Config{})
+	}
+	return c.Sess
 }
 
 // InputWave is the driver's Thevenin source waveform (a single rising

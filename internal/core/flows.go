@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"inductance101/internal/circuit"
+	"inductance101/internal/engine"
 	"inductance101/internal/grid"
 	"inductance101/internal/matrix"
 	"inductance101/internal/mor"
@@ -93,6 +95,44 @@ func DefaultFlowOptions(s Strategy) FlowOptions {
 	}
 }
 
+// StrategyFromConfig maps the engine's core-free sparsification enum
+// onto the §4 strategy menu.
+func StrategyFromConfig(s engine.Sparsification) (Strategy, error) {
+	switch s {
+	case engine.SparsifyNone:
+		return StrategyFull, nil
+	case engine.SparsifyRC:
+		return StrategyRC, nil
+	case engine.SparsifyBlockDiag:
+		return StrategyBlockDiag, nil
+	case engine.SparsifyShell:
+		return StrategyShell, nil
+	case engine.SparsifyHalo:
+		return StrategyHalo, nil
+	case engine.SparsifyTruncate:
+		return StrategyTruncate, nil
+	case engine.SparsifyKMatrix:
+		return StrategyKMatrix, nil
+	}
+	return StrategyFull, fmt.Errorf("core: unknown sparsification %d", int(s))
+}
+
+// FlowOptionsFromConfig translates a run config into flow options: the
+// sparsification strategy and, when MOROrder is positive, a PRIMA
+// reduction of that block order. Everything else keeps the defaults.
+func FlowOptionsFromConfig(cfg engine.Config) (FlowOptions, error) {
+	s, err := StrategyFromConfig(cfg.Sparsification)
+	if err != nil {
+		return FlowOptions{}, err
+	}
+	opt := DefaultFlowOptions(s)
+	if cfg.MOROrder > 0 {
+		opt.UsePRIMA = true
+		opt.PrimaBlocks = cfg.MOROrder
+	}
+	return opt, nil
+}
+
 // FlowResult carries the waveforms, metrics and costs of one flow.
 type FlowResult struct {
 	Name  string
@@ -114,163 +154,215 @@ type FlowResult struct {
 	PositiveDefinite bool
 	ReducedOrder     int // PRIMA order, 0 if unused
 	Runtime          time.Duration
+	// Stages is the pipeline's per-stage wall-time/diagnostic log.
+	Stages []engine.StageStat
 }
 
 // RunPEEC executes the detailed-model flow with the chosen §4 options.
 func (c *ClockCase) RunPEEC(opt FlowOptions) (*FlowResult, error) {
+	return c.RunPEECCtx(context.Background(), opt)
+}
+
+// RunPEECCtx is RunPEEC under a context: the flow runs its stages
+// (sparsify → model → [mor] → sim → measure) through the case
+// session's pipeline, stopping at the first stage whose turn comes
+// after ctx is cancelled and recording per-stage wall time and
+// diagnostics in FlowResult.Stages.
+func (c *ClockCase) RunPEECCtx(ctx context.Context, opt FlowOptions) (*FlowResult, error) {
 	start := time.Now()
+	pipe := c.session().Pipeline()
 	res := &FlowResult{Name: opt.Strategy.String(), KeptFraction: 1, PositiveDefinite: true}
 	if opt.UsePRIMA {
 		res.Name += "+PRIMA"
 	}
+	defer func() {
+		res.Stages = pipe.Stages()
+		res.Runtime = time.Since(start)
+	}()
 
 	var lOverride, kOverride *matrix.Dense
 	lay := c.Grid.Layout
-	switch opt.Strategy {
-	case StrategyRC, StrategyFull:
-	case StrategyBlockDiag:
-		sec := sparsify.SectionsByCrossCoordinate(lay, c.Par.Segs, opt.Sections)
-		r := sparsify.BlockDiagonal(c.Par.L, sec)
-		lOverride, res.KeptFraction, res.PositiveDefinite = r.L, r.KeptFraction, r.PositiveDefinite
-	case StrategyShell:
-		r := sparsify.Shell(lay, c.Par.Segs, c.Par.L, opt.ShellRadius)
-		lOverride, res.KeptFraction, res.PositiveDefinite = r.L, r.KeptFraction, r.PositiveDefinite
-	case StrategyHalo:
-		r := sparsify.Halo(lay, c.Par.Segs, c.Par.L, func(net string) bool {
-			return net == "GND" || net == "VDD"
-		})
-		lOverride, res.KeptFraction, res.PositiveDefinite = r.L, r.KeptFraction, r.PositiveDefinite
-	case StrategyTruncate:
-		r := sparsify.Truncate(c.Par.L, opt.TruncThreshold)
-		lOverride, res.KeptFraction, res.PositiveDefinite = r.L, r.KeptFraction, r.PositiveDefinite
-	case StrategyKMatrix:
-		k, err := sparsify.WindowedK(c.Par.L, opt.KWindow)
-		if err != nil {
-			return nil, fmt.Errorf("core: windowed K: %w", err)
-		}
-		kOverride = k
-		res.PositiveDefinite = matrix.IsPositiveDefinite(k)
-		n := k.Rows()
-		kept := 0
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if i != j && k.At(i, j) != 0 {
-					kept++
+	if err := pipe.Run(ctx, "sparsify", func(context.Context) (string, error) {
+		switch opt.Strategy {
+		case StrategyRC, StrategyFull:
+			return "", nil
+		case StrategyBlockDiag:
+			sec := sparsify.SectionsByCrossCoordinate(lay, c.Par.Segs, opt.Sections)
+			r := sparsify.BlockDiagonal(c.Par.L, sec)
+			lOverride, res.KeptFraction, res.PositiveDefinite = r.L, r.KeptFraction, r.PositiveDefinite
+		case StrategyShell:
+			r := sparsify.Shell(lay, c.Par.Segs, c.Par.L, opt.ShellRadius)
+			lOverride, res.KeptFraction, res.PositiveDefinite = r.L, r.KeptFraction, r.PositiveDefinite
+		case StrategyHalo:
+			r := sparsify.Halo(lay, c.Par.Segs, c.Par.L, func(net string) bool {
+				return net == "GND" || net == "VDD"
+			})
+			lOverride, res.KeptFraction, res.PositiveDefinite = r.L, r.KeptFraction, r.PositiveDefinite
+		case StrategyTruncate:
+			r := sparsify.Truncate(c.Par.L, opt.TruncThreshold)
+			lOverride, res.KeptFraction, res.PositiveDefinite = r.L, r.KeptFraction, r.PositiveDefinite
+		case StrategyKMatrix:
+			k, err := sparsify.WindowedK(c.Par.L, opt.KWindow)
+			if err != nil {
+				return "", fmt.Errorf("core: windowed K: %w", err)
+			}
+			kOverride = k
+			res.PositiveDefinite = matrix.IsPositiveDefinite(k)
+			n := k.Rows()
+			kept := 0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i != j && k.At(i, j) != 0 {
+						kept++
+					}
 				}
 			}
+			if n > 1 {
+				res.KeptFraction = float64(kept) / float64(n*(n-1))
+			}
+		default:
+			return "", fmt.Errorf("core: unknown strategy %d", opt.Strategy)
 		}
-		if n > 1 {
-			res.KeptFraction = float64(kept) / float64(n*(n-1))
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %d", opt.Strategy)
-	}
-
-	mode := grid.ModeRLC
-	if opt.Strategy == StrategyRC {
-		mode = grid.ModeRC
-	}
-	p, err := grid.BuildPEECNetlist(lay, c.Par, grid.PEECOptions{
-		Mode: mode, LOverride: lOverride, KOverride: kOverride,
-	})
-	if err != nil {
+		return fmt.Sprintf("kept %.3g of mutuals", res.KeptFraction), nil
+	}); err != nil {
 		return nil, err
 	}
-	n := p.Netlist
-	res.MutualCount = p.MutualCount
-	// Interconnect element counts (Table 1 rows) are captured before
-	// the environment (package, decap, sources) is attached.
-	res.Stats = n.Stats()
+
+	var p *grid.PEECNetlist
+	var n *circuit.Netlist
+	if err := pipe.Run(ctx, "model", func(context.Context) (string, error) {
+		mode := grid.ModeRLC
+		if opt.Strategy == StrategyRC {
+			mode = grid.ModeRC
+		}
+		var err error
+		p, err = grid.BuildPEECNetlist(lay, c.Par, grid.PEECOptions{
+			Mode: mode, LOverride: lOverride, KOverride: kOverride,
+		})
+		if err != nil {
+			return "", err
+		}
+		n = p.Netlist
+		res.MutualCount = p.MutualCount
+		// Interconnect element counts (Table 1 rows) are captured before
+		// the environment (package, decap, sources) is attached.
+		res.Stats = n.Stats()
+		return fmt.Sprintf("%d mutuals", res.MutualCount), nil
+	}); err != nil {
+		return nil, err
+	}
 
 	if opt.UsePRIMA {
-		if err := c.runPRIMA(n, p, opt, res); err != nil {
+		if err := c.runPRIMA(ctx, pipe, n, p, opt, res); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := c.attachEnvironment(n, true, true, true); err != nil {
+		if err := pipe.Run(ctx, "sim", func(context.Context) (string, error) {
+			if err := c.attachEnvironment(n, true, true, true); err != nil {
+				return "", err
+			}
+			tr, err := sim.Tran(n, sim.TranOptions{
+				TStop: opt.TStop, TStep: opt.TStep,
+				Policy: c.session().SimPolicy(),
+			})
+			if err != nil {
+				return "", fmt.Errorf("core: %s transient: %w", res.Name, err)
+			}
+			res.Times = tr.Times
+			res.RootV = tr.MustV(c.Clock.Root)
+			for _, s := range c.Clock.Sinks {
+				res.SinkV = append(res.SinkV, tr.MustV(s))
+			}
+			return fmt.Sprintf("%d steps", len(tr.Times)), nil
+		}); err != nil {
 			return nil, err
 		}
-		tr, err := sim.Tran(n, sim.TranOptions{TStop: opt.TStop, TStep: opt.TStep})
-		if err != nil {
-			return nil, fmt.Errorf("core: %s transient: %w", res.Name, err)
-		}
-		res.Times = tr.Times
-		res.RootV = tr.MustV(c.Clock.Root)
-		for _, s := range c.Clock.Sinks {
-			res.SinkV = append(res.SinkV, tr.MustV(s))
-		}
 	}
-	if err := c.measure(res); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", res.Name, err)
+	if err := pipe.Run(ctx, "measure", func(context.Context) (string, error) {
+		if err := c.measure(res); err != nil {
+			return "", fmt.Errorf("core: %s: %w", res.Name, err)
+		}
+		return "", nil
+	}); err != nil {
+		return nil, err
 	}
-	res.Runtime = time.Since(start)
 	return res, nil
 }
 
 // runPRIMA reduces the linear PEEC model (driver Norton-folded, no
-// background sources) and simulates the reduced system.
-func (c *ClockCase) runPRIMA(n *circuit.Netlist, p *grid.PEECNetlist, opt FlowOptions, res *FlowResult) error {
-	// Environment without driver, background, or supply source: PRIMA
-	// needs a source-free linear system, so both the driver and the
-	// external supply enter as Norton current injections.
-	if err := c.attachEnvironment(n, false, false, false); err != nil {
-		return err
-	}
-	// Driver as Norton: R from root to the local ground node stays in
-	// the linear system; the current injection I(t) = V(t)/R drives the
-	// (root, gnd) port pair.
-	n.AddR("rdrv", c.Clock.Root, c.DriverGnd, c.Opt.DriverR)
-	// The linear system is simulated incrementally around the DC
-	// operating point (superposition): at rest the clock net sits at 0V
-	// and the supply at Vdd, so the only nonzero incremental input is
-	// the driver transition. The ideal supply is a short for
-	// increments — a stiff anchor resistor on vdd_ext models it.
-	n.AddR("rext", "vdd_ext", circuit.Ground, 1e-3)
+// background sources) and simulates the reduced system, as the "mor"
+// and "sim" stages of the flow pipeline.
+func (c *ClockCase) runPRIMA(ctx context.Context, pipe *engine.Pipeline, n *circuit.Netlist, p *grid.PEECNetlist, opt FlowOptions, res *FlowResult) error {
+	var rm *mor.ReducedModel
+	if err := pipe.Run(ctx, "mor", func(context.Context) (string, error) {
+		// Environment without driver, background, or supply source: PRIMA
+		// needs a source-free linear system, so both the driver and the
+		// external supply enter as Norton current injections.
+		if err := c.attachEnvironment(n, false, false, false); err != nil {
+			return "", err
+		}
+		// Driver as Norton: R from root to the local ground node stays in
+		// the linear system; the current injection I(t) = V(t)/R drives the
+		// (root, gnd) port pair.
+		n.AddR("rdrv", c.Clock.Root, c.DriverGnd, c.Opt.DriverR)
+		// The linear system is simulated incrementally around the DC
+		// operating point (superposition): at rest the clock net sits at 0V
+		// and the supply at Vdd, so the only nonzero incremental input is
+		// the driver transition. The ideal supply is a short for
+		// increments — a stiff anchor resistor on vdd_ext models it.
+		n.AddR("rext", "vdd_ext", circuit.Ground, 1e-3)
 
-	m := circuit.Build(n)
-	rootIdx, err := n.NodeIndex(c.Clock.Root)
-	if err != nil {
-		return err
-	}
-	gndIdx, err := n.NodeIndex(c.DriverGnd)
-	if err != nil {
-		return err
-	}
-	var observe []int
-	observe = append(observe, rootIdx)
-	for _, s := range c.Clock.Sinks {
-		si, err := n.NodeIndex(s)
+		m := circuit.Build(n)
+		rootIdx, err := n.NodeIndex(c.Clock.Root)
 		if err != nil {
-			return err
+			return "", err
 		}
-		observe = append(observe, si)
-	}
-	ports := []mor.Port{{Plus: rootIdx, Minus: gndIdx}}
-	rm, err := mor.Reduce(m, ports, observe, mor.Options{Blocks: opt.PrimaBlocks})
-	if err != nil {
+		gndIdx, err := n.NodeIndex(c.DriverGnd)
+		if err != nil {
+			return "", err
+		}
+		var observe []int
+		observe = append(observe, rootIdx)
+		for _, s := range c.Clock.Sinks {
+			si, err := n.NodeIndex(s)
+			if err != nil {
+				return "", err
+			}
+			observe = append(observe, si)
+		}
+		ports := []mor.Port{{Plus: rootIdx, Minus: gndIdx}}
+		rm, err = mor.Reduce(m, ports, observe, mor.Options{Blocks: opt.PrimaBlocks})
+		if err != nil {
+			return "", err
+		}
+		res.ReducedOrder = rm.Order()
+		return fmt.Sprintf("order %d", rm.Order()), nil
+	}); err != nil {
 		return err
 	}
-	res.ReducedOrder = rm.Order()
-	wave := c.InputWave()
-	tr, err := rm.Tran(func(t float64) []float64 {
-		return []float64{wave.At(t) / c.Opt.DriverR}
-	}, opt.TStop, opt.TStep)
-	if err != nil {
-		return err
-	}
-	res.Times = tr.Times
-	res.RootV = make([]float64, len(tr.Times))
-	res.SinkV = make([][]float64, len(c.Clock.Sinks))
-	for k := range c.Clock.Sinks {
-		res.SinkV[k] = make([]float64, len(tr.Times))
-	}
-	for ti, y := range tr.Outputs {
-		res.RootV[ti] = y[0]
+
+	return pipe.Run(ctx, "sim", func(context.Context) (string, error) {
+		wave := c.InputWave()
+		tr, err := rm.Tran(func(t float64) []float64 {
+			return []float64{wave.At(t) / c.Opt.DriverR}
+		}, opt.TStop, opt.TStep)
+		if err != nil {
+			return "", err
+		}
+		res.Times = tr.Times
+		res.RootV = make([]float64, len(tr.Times))
+		res.SinkV = make([][]float64, len(c.Clock.Sinks))
 		for k := range c.Clock.Sinks {
-			res.SinkV[k][ti] = y[1+k]
+			res.SinkV[k] = make([]float64, len(tr.Times))
 		}
-	}
-	return nil
+		for ti, y := range tr.Outputs {
+			res.RootV[ti] = y[0]
+			for k := range c.Clock.Sinks {
+				res.SinkV[k][ti] = y[1+k]
+			}
+		}
+		return fmt.Sprintf("%d steps", len(tr.Times)), nil
+	})
 }
 
 // measure fills the delay/skew/overshoot metrics from the waveforms.

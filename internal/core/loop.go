@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,6 +43,12 @@ func DefaultLoopOptions() LoopOptions {
 // paper, all interconnect and load capacitance is lumped at the
 // receiver ends; the measured run time includes extraction and fitting.
 func (c *ClockCase) RunLoop(opt LoopOptions) (*FlowResult, error) {
+	return c.RunLoopCtx(context.Background(), opt)
+}
+
+// RunLoopCtx is RunLoop under a context, staged through the session's
+// pipeline (extract → model → sim → measure) like RunPEECCtx.
+func (c *ClockCase) RunLoopCtx(ctx context.Context, opt LoopOptions) (*FlowResult, error) {
 	start := time.Now()
 	if opt.FLow <= 0 || opt.FHigh <= opt.FLow {
 		return nil, fmt.Errorf("core: bad loop extraction band [%g, %g]", opt.FLow, opt.FHigh)
@@ -49,7 +56,12 @@ func (c *ClockCase) RunLoop(opt LoopOptions) (*FlowResult, error) {
 	if opt.RCSegments <= 0 {
 		opt.RCSegments = 1
 	}
+	pipe := c.session().Pipeline()
 	res := &FlowResult{Name: "LOOP(RLC)", KeptFraction: 1, PositiveDefinite: true}
+	defer func() {
+		res.Stages = pipe.Stages()
+		res.Runtime = time.Since(start)
+	}()
 
 	lay := c.Grid.Layout
 	segs := append([]int(nil), c.Clock.Segs...)
@@ -57,64 +69,89 @@ func (c *ClockCase) RunLoop(opt LoopOptions) (*FlowResult, error) {
 
 	// Per-sink ladder extraction.
 	ladders := make([]loopmodel.Ladder, len(c.Clock.Sinks))
-	for k, sink := range c.Clock.Sinks {
-		x, y, err := c.sinkPosition(sink)
-		if err != nil {
-			return nil, err
+	if err := pipe.Run(ctx, "extract", func(context.Context) (string, error) {
+		fhOpt := c.session().SolverOptions()
+		fhOpt.MaxPerSide = 2
+		for k, sink := range c.Clock.Sinks {
+			x, y, err := c.sinkPosition(sink)
+			if err != nil {
+				return "", err
+			}
+			shorts := [][2]string{{sink, c.nearestGndNode(x, y)}}
+			solver, err := fasthenry.NewSolver(lay, segs,
+				fasthenry.Port{Plus: c.Clock.Root, Minus: c.DriverGnd},
+				shorts, opt.FHigh, fhOpt)
+			if err != nil {
+				return "", fmt.Errorf("core: loop extraction for sink %d: %w", k, err)
+			}
+			zLo, err := solver.Impedance(opt.FLow)
+			if err != nil {
+				return "", err
+			}
+			if !opt.Ladder {
+				r, l := loopmodel.SingleFrequencyRL(zLo, opt.FLow)
+				ladders[k] = loopmodel.Ladder{R0: r, L0: l}
+				continue
+			}
+			zHi, err := solver.Impedance(opt.FHigh)
+			if err != nil {
+				return "", err
+			}
+			ladders[k], err = loopmodel.FitTwoPoint(zLo, opt.FLow, zHi, opt.FHigh)
+			if err != nil {
+				return "", err
+			}
 		}
-		shorts := [][2]string{{sink, c.nearestGndNode(x, y)}}
-		solver, err := fasthenry.NewSolver(lay, segs,
-			fasthenry.Port{Plus: c.Clock.Root, Minus: c.DriverGnd},
-			shorts, opt.FHigh, fasthenry.Options{MaxPerSide: 2})
-		if err != nil {
-			return nil, fmt.Errorf("core: loop extraction for sink %d: %w", k, err)
-		}
-		zLo, err := solver.Impedance(opt.FLow)
-		if err != nil {
-			return nil, err
-		}
-		if !opt.Ladder {
-			r, l := loopmodel.SingleFrequencyRL(zLo, opt.FLow)
-			ladders[k] = loopmodel.Ladder{R0: r, L0: l}
-			continue
-		}
-		zHi, err := solver.Impedance(opt.FHigh)
-		if err != nil {
-			return nil, err
-		}
-		ladders[k], err = loopmodel.FitTwoPoint(zLo, opt.FLow, zHi, opt.FHigh)
-		if err != nil {
-			return nil, err
-		}
+		return fmt.Sprintf("%d sink loops", len(ladders)), nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Netlist: per-sink ladder with the lumped capacitance at the
 	// receiver; interconnect element counts are captured before the
 	// driver is added (they are the Table 1 rows).
 	n := circuit.New()
-	cWire := c.TotalClockInterconnectCap() / float64(len(c.Clock.Sinks))
-	for k := range c.Clock.Sinks {
-		sinkNode := fmt.Sprintf("sink%d", k)
-		stampLadderSegments(n, ladders[k], opt.RCSegments, cWire+c.SinkLoad(k),
-			fmt.Sprintf("loop%d", k), "root", sinkNode)
+	if err := pipe.Run(ctx, "model", func(context.Context) (string, error) {
+		cWire := c.TotalClockInterconnectCap() / float64(len(c.Clock.Sinks))
+		for k := range c.Clock.Sinks {
+			sinkNode := fmt.Sprintf("sink%d", k)
+			stampLadderSegments(n, ladders[k], opt.RCSegments, cWire+c.SinkLoad(k),
+				fmt.Sprintf("loop%d", k), "root", sinkNode)
+		}
+		res.Stats = n.Stats()
+		n.AddV("vdrv", "drv_src", circuit.Ground, c.InputWave())
+		n.AddR("rdrv", "drv_src", "root", c.Opt.DriverR)
+		return "", nil
+	}); err != nil {
+		return nil, err
 	}
-	res.Stats = n.Stats()
-	n.AddV("vdrv", "drv_src", circuit.Ground, c.InputWave())
-	n.AddR("rdrv", "drv_src", "root", c.Opt.DriverR)
 
-	tr, err := sim.Tran(n, sim.TranOptions{TStop: opt.TStop, TStep: opt.TStep})
-	if err != nil {
-		return nil, fmt.Errorf("core: loop transient: %w", err)
+	if err := pipe.Run(ctx, "sim", func(context.Context) (string, error) {
+		tr, err := sim.Tran(n, sim.TranOptions{
+			TStop: opt.TStop, TStep: opt.TStep,
+			Policy: c.session().SimPolicy(),
+		})
+		if err != nil {
+			return "", fmt.Errorf("core: loop transient: %w", err)
+		}
+		res.Times = tr.Times
+		res.RootV = tr.MustV("root")
+		for k := range c.Clock.Sinks {
+			res.SinkV = append(res.SinkV, tr.MustV(fmt.Sprintf("sink%d", k)))
+		}
+		return fmt.Sprintf("%d steps", len(tr.Times)), nil
+	}); err != nil {
+		return nil, err
 	}
-	res.Times = tr.Times
-	res.RootV = tr.MustV("root")
-	for k := range c.Clock.Sinks {
-		res.SinkV = append(res.SinkV, tr.MustV(fmt.Sprintf("sink%d", k)))
+
+	if err := pipe.Run(ctx, "measure", func(context.Context) (string, error) {
+		if err := c.measure(res); err != nil {
+			return "", fmt.Errorf("core: loop: %w", err)
+		}
+		return "", nil
+	}); err != nil {
+		return nil, err
 	}
-	if err := c.measure(res); err != nil {
-		return nil, fmt.Errorf("core: loop: %w", err)
-	}
-	res.Runtime = time.Since(start)
 	return res, nil
 }
 

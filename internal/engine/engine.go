@@ -1,0 +1,223 @@
+// Package engine is the run-scoped configuration layer of the
+// extraction/simulation stack. A Config is an immutable description of
+// one run's tuning (worker fan-out, dense/sparse switch-over, solve
+// mode, ACA tolerance, kernel-cache policy, §4 sparsification, MOR
+// order); a Session owns the run's kernel cache and translates the
+// Config into the option structs of the lower layers (extract,
+// fasthenry, sim). Two Sessions with conflicting configs can run
+// concurrently in one process without touching each other — the
+// property the deprecated package-level Set* switches could never
+// provide.
+//
+// The zero Config inherits every process default, so a Session built
+// from it reproduces the legacy behavior bit-identically.
+package engine
+
+import (
+	"fmt"
+
+	"inductance101/internal/extract"
+	"inductance101/internal/fasthenry"
+	"inductance101/internal/sim"
+)
+
+// CachePolicy selects the kernel cache a session's extraction kernels
+// memoize into.
+type CachePolicy int
+
+const (
+	// CacheDefault uses the process-wide shared cache (and honors the
+	// deprecated extract.SetKernelCache switch).
+	CacheDefault CachePolicy = iota
+	// CachePrivate gives the session its own cache: full memoization
+	// within the session, no sharing or interference across sessions.
+	CachePrivate
+	// CacheOff computes every kernel directly.
+	CacheOff
+)
+
+// String returns the CLI spelling of the policy.
+func (p CachePolicy) String() string {
+	switch p {
+	case CachePrivate:
+		return "private"
+	case CacheOff:
+		return "off"
+	default:
+		return "default"
+	}
+}
+
+// Sparsification mirrors the §4 menu of core's PEEC strategies without
+// importing core (core builds on engine, not the reverse). The zero
+// value keeps the full dense partial-inductance matrix.
+type Sparsification int
+
+const (
+	// SparsifyNone keeps the full dense matrix — "PEEC (RLC)".
+	SparsifyNone Sparsification = iota
+	// SparsifyRC drops inductance entirely — "PEEC (RC)".
+	SparsifyRC
+	// SparsifyBlockDiag applies block-diagonal sparsification.
+	SparsifyBlockDiag
+	// SparsifyShell applies the shell shift-truncate method.
+	SparsifyShell
+	// SparsifyHalo applies the return-limited halo method.
+	SparsifyHalo
+	// SparsifyTruncate applies naive truncation (instability ablation).
+	SparsifyTruncate
+	// SparsifyKMatrix uses the windowed inverse-inductance K element.
+	SparsifyKMatrix
+)
+
+// String names the strategy as the CLIs spell it.
+func (s Sparsification) String() string {
+	switch s {
+	case SparsifyNone:
+		return "full"
+	case SparsifyRC:
+		return "rc"
+	case SparsifyBlockDiag:
+		return "blockdiag"
+	case SparsifyShell:
+		return "shell"
+	case SparsifyHalo:
+		return "halo"
+	case SparsifyTruncate:
+		return "truncate"
+	case SparsifyKMatrix:
+		return "kmatrix"
+	default:
+		return fmt.Sprintf("Sparsification(%d)", int(s))
+	}
+}
+
+// Config is one run's immutable tuning. Zero values inherit the
+// process defaults (each field documents its own convention), so
+// Config{} reproduces today's behavior exactly.
+type Config struct {
+	// Workers caps goroutine fan-out everywhere the run parallelizes:
+	// extraction rows, factorization strips, sweep points, AC points.
+	// 0 = process default (matrix.Workers), 1 = fully serial.
+	Workers int
+	// SparseThreshold is the MNA size at which transient/AC analyses
+	// switch to the sparse direct solver: > 0 explicit, 0 = process
+	// default, < 0 = dense at every size.
+	SparseThreshold int
+	// SolveMode picks the fasthenry solve path (auto/dense/iterative).
+	SolveMode fasthenry.SolveMode
+	// ACATol is the relative tolerance of ACA-compressed far-field
+	// blocks (0 = the extract/fasthenry default, 1e-8).
+	ACATol float64
+	// Cache is the kernel-cache policy.
+	Cache CachePolicy
+	// Sparsification selects the §4 strategy for PEEC flows.
+	Sparsification Sparsification
+	// MOROrder, when positive, reduces PEEC flows with PRIMA using this
+	// many block moments. 0 = no model-order reduction.
+	MOROrder int
+}
+
+// Validate rejects configs no layer can interpret. Zero values are
+// always valid (they mean "inherit").
+func (c Config) Validate() error {
+	if c.ACATol < 0 {
+		return fmt.Errorf("engine: negative ACA tolerance %g", c.ACATol)
+	}
+	if c.MOROrder < 0 {
+		return fmt.Errorf("engine: negative MOR order %d", c.MOROrder)
+	}
+	switch c.Cache {
+	case CacheDefault, CachePrivate, CacheOff:
+	default:
+		return fmt.Errorf("engine: unknown cache policy %d", int(c.Cache))
+	}
+	switch c.SolveMode {
+	case fasthenry.ModeAuto, fasthenry.ModeDense, fasthenry.ModeIterative:
+	default:
+		return fmt.Errorf("engine: unknown solve mode %d", int(c.SolveMode))
+	}
+	if c.Sparsification < SparsifyNone || c.Sparsification > SparsifyKMatrix {
+		return fmt.Errorf("engine: unknown sparsification %d", int(c.Sparsification))
+	}
+	return nil
+}
+
+// Session binds a Config to run-owned state: the kernel cache the
+// config's policy names. Sessions are cheap; build one per logical run
+// and thread it (or the option structs it mints) through the call
+// chain. All methods are safe for concurrent use — the config is
+// immutable and the cache is internally synchronized.
+type Session struct {
+	cfg   Config
+	cache extract.CacheRef
+}
+
+// New builds a Session. Invalid configs are rejected by NewChecked;
+// New panics on them, which keeps the common literal-config call sites
+// un-error-checked (a config is program text, not input).
+func New(cfg Config) *Session {
+	s, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewChecked is New with the validation error returned instead of
+// panicking, for configs assembled from user input.
+func NewChecked(cfg Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{cfg: cfg}
+	switch cfg.Cache {
+	case CachePrivate:
+		s.cache = extract.PrivateCache()
+	case CacheOff:
+		s.cache = extract.NoCache()
+	default:
+		s.cache = extract.DefaultCacheRef()
+	}
+	return s, nil
+}
+
+// Config returns the session's immutable config.
+func (s *Session) Config() Config { return s.cfg }
+
+// CacheRef names the session's kernel cache; pass it to extract entry
+// points.
+func (s *Session) CacheRef() extract.CacheRef { return s.cache }
+
+// CacheStats reports the session cache's hit/miss counters.
+func (s *Session) CacheStats() extract.CacheStats { return s.cache.Stats() }
+
+// ResetCache clears the session cache's entries and counters.
+func (s *Session) ResetCache() { s.cache.Reset() }
+
+// SimPolicy mints the sim-layer solver policy for this run.
+func (s *Session) SimPolicy() sim.Policy {
+	return sim.Policy{Workers: s.cfg.Workers, SparseThreshold: s.cfg.SparseThreshold}
+}
+
+// ExtractOptions mints a full-layout extraction option set: the
+// process defaults (dense mutual matrix, 3 um coupling window) under
+// this session's workers and cache.
+func (s *Session) ExtractOptions() extract.Options {
+	opt := extract.DefaultOptions()
+	opt.Workers = s.cfg.Workers
+	opt.Cache = s.cache
+	return opt
+}
+
+// SolverOptions mints the base fasthenry option set (solve mode, ACA
+// tolerance, cache, workers); callers fill the discretization fields
+// (NW/NT/MaxPerSide/Rho) per extraction.
+func (s *Session) SolverOptions() fasthenry.Options {
+	return fasthenry.Options{
+		Mode:    s.cfg.SolveMode,
+		ACATol:  s.cfg.ACATol,
+		Cache:   s.cache,
+		Workers: s.cfg.Workers,
+	}
+}

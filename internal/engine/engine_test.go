@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"inductance101/internal/fasthenry"
+)
+
+func TestZeroConfigInheritsDefaults(t *testing.T) {
+	s := New(Config{})
+	if pol := s.SimPolicy(); pol.Workers != 0 || pol.SparseThreshold != 0 {
+		t.Errorf("zero config minted non-inheriting policy %+v", pol)
+	}
+	opt := s.SolverOptions()
+	if opt.Mode != fasthenry.ModeAuto || opt.ACATol != 0 || opt.Workers != 0 {
+		t.Errorf("zero config minted non-inheriting solver options %+v", opt)
+	}
+	eo := s.ExtractOptions()
+	if eo.CouplingWindow != 3e-6 {
+		t.Errorf("ExtractOptions lost the default coupling window: %+v", eo)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{ACATol: -1},
+		{MOROrder: -2},
+		{Cache: CachePolicy(99)},
+		{SolveMode: fasthenry.SolveMode(42)},
+		{Sparsification: Sparsification(-1)},
+		{Sparsification: SparsifyKMatrix + 1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted bad config %+v", cfg)
+		}
+		if _, err := NewChecked(cfg); err == nil {
+			t.Errorf("NewChecked accepted bad config %+v", cfg)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New did not panic on an invalid config")
+		}
+	}()
+	New(Config{ACATol: -1})
+}
+
+func TestCachePolicies(t *testing.T) {
+	priv := New(Config{Cache: CachePrivate})
+	if st := priv.CacheStats(); !st.Enabled {
+		t.Error("private cache reports disabled")
+	}
+	off := New(Config{Cache: CacheOff})
+	if st := off.CacheStats(); st.Enabled {
+		t.Error("CacheOff session reports an enabled cache")
+	}
+	// A private cache's counters are the session's own.
+	priv.CacheRef().Cache().SelfInductanceBar(100e-6, 1e-6, 1e-6)
+	priv.CacheRef().Cache().SelfInductanceBar(100e-6, 1e-6, 1e-6)
+	st := priv.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("private cache counters = %+v, want 1 hit / 1 miss", st)
+	}
+	other := New(Config{Cache: CachePrivate})
+	if st := other.CacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("second private session inherited counters: %+v", st)
+	}
+	priv.ResetCache()
+	if st := priv.CacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("ResetCache left counters: %+v", st)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if CacheDefault.String() != "default" || CachePrivate.String() != "private" || CacheOff.String() != "off" {
+		t.Error("CachePolicy strings drifted")
+	}
+	want := map[Sparsification]string{
+		SparsifyNone: "full", SparsifyRC: "rc", SparsifyBlockDiag: "blockdiag",
+		SparsifyShell: "shell", SparsifyHalo: "halo",
+		SparsifyTruncate: "truncate", SparsifyKMatrix: "kmatrix",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), str)
+		}
+	}
+}
+
+func TestPipelineRunsAndRecords(t *testing.T) {
+	p := New(Config{}).Pipeline()
+	if err := p.Run(context.Background(), "extract", func(context.Context) (string, error) {
+		time.Sleep(time.Millisecond)
+		return "3 segments", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := p.Run(context.Background(), "sim", func(context.Context) (string, error) {
+		return "", boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("stage error not propagated: %v", err)
+	}
+	st := p.Stages()
+	if len(st) != 2 {
+		t.Fatalf("recorded %d stages, want 2", len(st))
+	}
+	if st[0].Name != "extract" || st[0].Wall <= 0 || st[0].Note != "3 segments" {
+		t.Errorf("stage 0 = %+v", st[0])
+	}
+	if st[1].Err == nil {
+		t.Error("failed stage recorded without error")
+	}
+	if p.Wall() < st[0].Wall {
+		t.Error("Wall() lost stage time")
+	}
+	rep := p.Report()
+	if !strings.Contains(rep, "extract") || !strings.Contains(rep, "3 segments") || !strings.Contains(rep, "boom") {
+		t.Errorf("Report missing content:\n%s", rep)
+	}
+}
+
+func TestPipelineHonorsCancellation(t *testing.T) {
+	p := New(Config{}).Pipeline()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := p.Run(ctx, "sim", func(context.Context) (string, error) {
+		ran = true
+		return "", nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stage returned %v", err)
+	}
+	if ran {
+		t.Error("stage body ran after cancellation")
+	}
+	if st := p.Stages(); len(st) != 1 || st[0].Err == nil {
+		t.Errorf("cancelled stage not recorded: %+v", st)
+	}
+}

@@ -738,10 +738,11 @@ func (c *compressor) finishStats() {
 
 // CompressInductance builds the compressed partial-inductance operator
 // over the given layout segments (one element per segment), with the
-// same self/mutual kernels — through the geometry-keyed cache — as
-// InductanceMatrix with an unlimited window. Position k of the operator
-// corresponds to segs[k].
-func CompressInductance(l *geom.Layout, segs []int, gmd GMDOptions, opt ACAOptions) *CompressedL {
+// same self/mutual kernels — through the geometry-keyed cache named by
+// cache (zero = process default) — as InductanceMatrix with an
+// unlimited window. Position k of the operator corresponds to segs[k].
+func CompressInductance(l *geom.Layout, segs []int, gmd GMDOptions, opt ACAOptions, cache CacheRef) *CompressedL {
+	kc := cache.Cache()
 	elems := make([]HElement, len(segs))
 	for k, si := range segs {
 		s := &l.Segments[si]
@@ -762,7 +763,7 @@ func CompressInductance(l *geom.Layout, segs []int, gmd GMDOptions, opt ACAOptio
 		a := &l.Segments[si]
 		ta := l.Layers[a.Layer].Thickness
 		if i == j {
-			return SelfInductanceBarCached(a.Length, a.Width, ta)
+			return kc.SelfInductanceBar(a.Length, a.Width, ta)
 		}
 		b := &l.Segments[sj]
 		pg, okPar := l.Parallel(si, sj)
@@ -770,7 +771,7 @@ func CompressInductance(l *geom.Layout, segs []int, gmd GMDOptions, opt ACAOptio
 			return 0
 		}
 		tb := l.Layers[b.Layer].Thickness
-		return MutualBarsCached(pg, a.Width, ta, b.Width, tb, gmd)
+		return kc.MutualBars(pg, a.Width, ta, b.Width, tb, gmd)
 	}
 	idx := geom.NewIndex(l, 0)
 	roots := idx.ClusterTree(segs, 16)

@@ -137,9 +137,10 @@ func (c *KernelCache) entries() int {
 	return n
 }
 
-// The process-wide cache the extraction paths consult. On by default;
-// the CLIs expose -kernelcache=off as an escape hatch (and the
-// equivalence tests flip it to prove bit-identity).
+// The process-wide cache the deprecated package-level extraction paths
+// consult. On by default; the CLIs once exposed -kernelcache=off through
+// SetKernelCache, and the equivalence tests still flip it to prove
+// bit-identity. New code selects a cache per run with a CacheRef.
 var (
 	defaultCache  KernelCache
 	cacheDisabled atomic.Bool // zero value = enabled
@@ -148,6 +149,13 @@ var (
 // SetKernelCache enables or disables the process-wide kernel cache.
 // Disabling does not drop stored entries (re-enabling resumes hits);
 // use ResetKernelCache to free them.
+//
+// Deprecated: SetKernelCache mutates process-wide state, so two analyses
+// with different cache settings cannot coexist. New code should thread a
+// CacheRef (NoCache, PrivateCache, or the default) through
+// extract.Options / the *InductanceMatrix* entry points instead — see
+// internal/engine for the config that builds one per run. The shim
+// remains so existing call sites keep their exact behavior.
 func SetKernelCache(on bool) {
 	cacheDisabled.Store(!on)
 }
@@ -189,44 +197,133 @@ func KernelCacheStats() CacheStats {
 	}
 }
 
-// SelfInductanceBarCached is SelfInductanceBar through the kernel
+// Stats snapshots this cache's counters. A nil receiver (the disabled
+// cache a NoCache ref resolves to) reports Enabled=false.
+func (c *KernelCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Enabled: true,
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: c.entries(),
+	}
+}
+
+// Reset drops every memoized value and zeroes the counters. No-op on a
+// nil receiver.
+func (c *KernelCache) Reset() {
+	if c != nil {
+		c.reset()
+	}
+}
+
+// cacheRefKind discriminates how a CacheRef resolves to a cache.
+type cacheRefKind uint8
+
+const (
+	cacheRefDefault cacheRefKind = iota // process default, honoring SetKernelCache
+	cacheRefOff                         // no memoization
+	cacheRefOwned                       // an explicit cache instance
+)
+
+// CacheRef names which kernel cache an extraction run consults. It is a
+// small value meant to be embedded in option structs and threaded down
+// call chains. The zero value resolves to the process-default cache at
+// each use, honoring the deprecated SetKernelCache switch — so an unset
+// config reproduces the legacy behavior exactly. Sessions that need
+// isolation hold a PrivateCache ref; runs that must not memoize use
+// NoCache.
+type CacheRef struct {
+	kind cacheRefKind
+	c    *KernelCache
+}
+
+// DefaultCacheRef returns the zero CacheRef: the process-default cache,
+// subject to the deprecated SetKernelCache switch.
+func DefaultCacheRef() CacheRef { return CacheRef{} }
+
+// NoCache returns a ref that disables kernel memoization for the runs
+// that carry it. Results are bit-identical with and without the cache;
+// this only trades recomputation for memory.
+func NoCache() CacheRef { return CacheRef{kind: cacheRefOff} }
+
+// PrivateCache returns a ref owning a fresh cache, isolated from the
+// process default and from every other session.
+func PrivateCache() CacheRef { return CacheRef{kind: cacheRefOwned, c: new(KernelCache)} }
+
+// CacheRefOf wraps an existing cache so several runs can share it
+// explicitly. A nil cache behaves like NoCache.
+func CacheRefOf(c *KernelCache) CacheRef {
+	if c == nil {
+		return NoCache()
+	}
+	return CacheRef{kind: cacheRefOwned, c: c}
+}
+
+// Cache resolves the ref to a concrete cache: nil means "compute
+// directly" (every kernel method on *KernelCache accepts a nil receiver
+// and falls through to the uncached kernel). The default ref re-reads
+// the SetKernelCache switch on every call, preserving shim semantics.
+func (r CacheRef) Cache() *KernelCache {
+	switch r.kind {
+	case cacheRefOff:
+		return nil
+	case cacheRefOwned:
+		return r.c
+	default:
+		if cacheDisabled.Load() {
+			return nil
+		}
+		return &defaultCache
+	}
+}
+
+// Stats snapshots the counters of the cache the ref resolves to.
+func (r CacheRef) Stats() CacheStats { return r.Cache().Stats() }
+
+// Reset drops the resolved cache's entries (no-op for NoCache).
+func (r CacheRef) Reset() { r.Cache().Reset() }
+
+// SelfInductanceBar evaluates the self-inductance kernel through the
 // cache: bit-identical to the direct call, computed once per unique
-// (l, w, t).
-func SelfInductanceBarCached(l, w, t float64) float64 {
-	if cacheDisabled.Load() {
+// (l, w, t). A nil receiver computes directly.
+func (c *KernelCache) SelfInductanceBar(l, w, t float64) float64 {
+	if c == nil {
 		return SelfInductanceBar(l, w, t)
 	}
 	k := kernelKey{kind: kindSelfBar}
 	k.p[0], k.p[1], k.p[2] = fbits(l), fbits(w), fbits(t)
-	return defaultCache.getOrCompute(k, func() float64 {
+	return c.getOrCompute(k, func() float64 {
 		return SelfInductanceBar(l, w, t)
 	})
 }
 
-// MutualFilamentsCached is MutualFilaments through the kernel cache —
-// the memo the FastHenry-style filament-matrix assembly uses, where a
-// regular discretization repeats the same relative filament geometry
-// thousands of times.
-func MutualFilamentsCached(la, lb, s, d float64) float64 {
-	if cacheDisabled.Load() {
+// MutualFilaments evaluates the filament mutual-inductance kernel
+// through the cache — the memo the FastHenry-style filament-matrix
+// assembly uses, where a regular discretization repeats the same
+// relative filament geometry thousands of times.
+func (c *KernelCache) MutualFilaments(la, lb, s, d float64) float64 {
+	if c == nil {
 		return MutualFilaments(la, lb, s, d)
 	}
 	k := kernelKey{kind: kindMutualFilaments}
 	k.p[0], k.p[1], k.p[2], k.p[3] = fbits(la), fbits(lb), fbits(s), fbits(d)
-	return defaultCache.getOrCompute(k, func() float64 {
+	return c.getOrCompute(k, func() float64 {
 		return MutualFilaments(la, lb, s, d)
 	})
 }
 
-// MutualBarsCached is MutualBars through the kernel cache. The key is
-// the pair's translation-invariant relative geometry (lengths,
-// longitudinal offset, perpendicular distance, both cross-sections)
-// plus the GMD options that steer the evaluation. GMDOptions.Order is
-// not part of the key because NumericGMD's quadrature order is fixed
-// (see the gauss6 tables); if it ever becomes configurable it must join
-// the key.
-func MutualBarsCached(pg geom.ParallelGeometry, wa, ta, wb, tb float64, opt GMDOptions) float64 {
-	if cacheDisabled.Load() {
+// MutualBars evaluates the bar mutual-inductance kernel through the
+// cache. The key is the pair's translation-invariant relative geometry
+// (lengths, longitudinal offset, perpendicular distance, both
+// cross-sections) plus the GMD options that steer the evaluation.
+// GMDOptions.Order is not part of the key because NumericGMD's
+// quadrature order is fixed (see the gauss6 tables); if it ever becomes
+// configurable it must join the key.
+func (c *KernelCache) MutualBars(pg geom.ParallelGeometry, wa, ta, wb, tb float64, opt GMDOptions) float64 {
+	if c == nil {
 		return MutualBars(pg, wa, ta, wb, tb, opt)
 	}
 	k := kernelKey{kind: kindMutualBars}
@@ -239,21 +336,45 @@ func MutualBarsCached(pg geom.ParallelGeometry, wa, ta, wb, tb float64, opt GMDO
 		}
 		k.p[8] = fbits(ratio)
 	}
-	return defaultCache.getOrCompute(k, func() float64 {
+	return c.getOrCompute(k, func() float64 {
 		return MutualBars(pg, wa, ta, wb, tb, opt)
 	})
 }
 
-// couplingCapPerLengthCached memoizes CouplingCapPerLength; the two
-// math.Pow calls dominate coupling-capacitance extraction on large
-// regular layouts.
-func couplingCapPerLengthCached(w, t, h, s float64) float64 {
-	if cacheDisabled.Load() {
+// couplingCapPerLength memoizes CouplingCapPerLength; the two math.Pow
+// calls dominate coupling-capacitance extraction on large regular
+// layouts.
+func (c *KernelCache) couplingCapPerLength(w, t, h, s float64) float64 {
+	if c == nil {
 		return CouplingCapPerLength(w, t, h, s)
 	}
 	k := kernelKey{kind: kindCouplingCapPerLen}
 	k.p[0], k.p[1], k.p[2], k.p[3] = fbits(w), fbits(t), fbits(h), fbits(s)
-	return defaultCache.getOrCompute(k, func() float64 {
+	return c.getOrCompute(k, func() float64 {
 		return CouplingCapPerLength(w, t, h, s)
 	})
+}
+
+// SelfInductanceBarCached is SelfInductanceBar through the
+// process-default kernel cache (subject to SetKernelCache).
+func SelfInductanceBarCached(l, w, t float64) float64 {
+	return DefaultCacheRef().Cache().SelfInductanceBar(l, w, t)
+}
+
+// MutualFilamentsCached is MutualFilaments through the process-default
+// kernel cache (subject to SetKernelCache).
+func MutualFilamentsCached(la, lb, s, d float64) float64 {
+	return DefaultCacheRef().Cache().MutualFilaments(la, lb, s, d)
+}
+
+// MutualBarsCached is MutualBars through the process-default kernel
+// cache (subject to SetKernelCache).
+func MutualBarsCached(pg geom.ParallelGeometry, wa, ta, wb, tb float64, opt GMDOptions) float64 {
+	return DefaultCacheRef().Cache().MutualBars(pg, wa, ta, wb, tb, opt)
+}
+
+// couplingCapPerLengthCached is couplingCapPerLength through the
+// process-default kernel cache (subject to SetKernelCache).
+func couplingCapPerLengthCached(w, t, h, s float64) float64 {
+	return DefaultCacheRef().Cache().couplingCapPerLength(w, t, h, s)
 }

@@ -106,11 +106,11 @@ func TestCachedInductanceBitIdentical(t *testing.T) {
 			for _, g := range gmds {
 				var off, on, par *matrix.Dense
 				withCache(t, false, func() {
-					off = InductanceMatrix(lc.l, lc.segs, w, g)
+					off = InductanceMatrix(lc.l, lc.segs, w, g, DefaultCacheRef())
 				})
 				withCache(t, true, func() {
-					on = InductanceMatrix(lc.l, lc.segs, w, g)
-					par = InductanceMatrixParallel(lc.l, lc.segs, w, g, 4)
+					on = InductanceMatrix(lc.l, lc.segs, w, g, DefaultCacheRef())
+					par = InductanceMatrixParallel(lc.l, lc.segs, w, g, 4, DefaultCacheRef())
 				})
 				requireBitIdentical(t, off, on, lc.name+" serial")
 				requireBitIdentical(t, off, par, lc.name+" parallel")
@@ -150,7 +150,7 @@ func TestWindowedIndexMatchesBruteForce(t *testing.T) {
 		window := []float64{1e-6, 10e-6, 50e-6, 400e-6}[trial%4]
 		ref := bruteForce(l, segs, window, GMDOptions{})
 		withCache(t, false, func() {
-			got := InductanceMatrix(l, segs, window, GMDOptions{})
+			got := InductanceMatrix(l, segs, window, GMDOptions{}, DefaultCacheRef())
 			requireBitIdentical(t, ref, got, "indexed windowed")
 		})
 	}
@@ -166,7 +166,7 @@ func TestWindowedIndexMatchesBruteForce(t *testing.T) {
 		t.Fatal("test geometry broken: collinear pair should couple")
 	}
 	withCache(t, false, func() {
-		requireBitIdentical(t, ref, InductanceMatrix(l, segs, 5e-6, GMDOptions{}), "collinear pair")
+		requireBitIdentical(t, ref, InductanceMatrix(l, segs, 5e-6, GMDOptions{}, DefaultCacheRef()), "collinear pair")
 	})
 }
 
@@ -199,7 +199,7 @@ func TestCacheStatsCounters(t *testing.T) {
 		segs[i] = i
 	}
 	withCache(t, true, func() {
-		InductanceMatrix(l, segs, math.Inf(1), GMDOptions{})
+		InductanceMatrix(l, segs, math.Inf(1), GMDOptions{}, DefaultCacheRef())
 		st := KernelCacheStats()
 		if !st.Enabled {
 			t.Fatal("cache should report enabled")
@@ -212,7 +212,7 @@ func TestCacheStatsCounters(t *testing.T) {
 		}
 		// A second identical assembly must be all hits.
 		before := st
-		InductanceMatrix(l, segs, math.Inf(1), GMDOptions{})
+		InductanceMatrix(l, segs, math.Inf(1), GMDOptions{}, DefaultCacheRef())
 		st = KernelCacheStats()
 		if st.Misses != before.Misses {
 			t.Fatalf("warm rerun missed: %d -> %d misses", before.Misses, st.Misses)
@@ -259,7 +259,7 @@ func TestConcurrentAssemblySharedCache(t *testing.T) {
 	}
 	withCache(t, false, func() {
 		for k := range jobs {
-			jobs[k].ref = InductanceMatrix(jobs[k].l, jobs[k].segs, math.Inf(1), GMDOptions{Numeric: true})
+			jobs[k].ref = InductanceMatrix(jobs[k].l, jobs[k].segs, math.Inf(1), GMDOptions{Numeric: true}, DefaultCacheRef())
 		}
 	})
 	withCache(t, true, func() {
@@ -269,7 +269,7 @@ func TestConcurrentAssemblySharedCache(t *testing.T) {
 			wg.Add(1)
 			go func(k int) {
 				defer wg.Done()
-				results[k] = InductanceMatrixParallel(jobs[k].l, jobs[k].segs, math.Inf(1), GMDOptions{Numeric: true}, 3)
+				results[k] = InductanceMatrixParallel(jobs[k].l, jobs[k].segs, math.Inf(1), GMDOptions{Numeric: true}, 3, DefaultCacheRef())
 			}(k)
 		}
 		wg.Wait()

@@ -25,6 +25,10 @@ type Options struct {
 	// Workers parallelizes the inductance-matrix assembly across CPUs
 	// (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// Cache names the kernel cache the run consults. The zero value is
+	// the process-default cache (subject to the deprecated
+	// SetKernelCache switch); sessions pass their own ref for isolation.
+	Cache CacheRef
 	// SkipInductance leaves Parasitics.L nil. Used by callers that
 	// represent the partial-inductance coupling some other way (e.g.
 	// the hierarchically compressed operator from CompressInductance)
@@ -95,8 +99,9 @@ func ExtractSegments(l *geom.Layout, segs []int, opt Options) *Parasitics {
 		p.CGround[s.NodeB] += cg / 2
 	}
 	if !opt.SkipInductance {
-		p.L = InductanceMatrixParallel(l, segs, opt.MutualWindow, opt.GMD, opt.Workers)
+		p.L = InductanceMatrixParallel(l, segs, opt.MutualWindow, opt.GMD, opt.Workers, opt.Cache)
 	}
+	cc := opt.Cache.Cache()
 
 	// Coupling capacitance between adjacent same-layer parallel lines.
 	// Use a spatial index to keep this near-linear; window by spacing.
@@ -123,8 +128,8 @@ func ExtractSegments(l *geom.Layout, segs []int, opt Options) *Parasitics {
 			if l.EdgeSpacing(a, b) > opt.CouplingWindow {
 				continue
 			}
-			cc := CouplingCap(l, a, b)
-			if cc <= 0 {
+			cv := couplingCap(l, a, b, cc)
+			if cv <= 0 {
 				continue
 			}
 			// Split the coupling capacitor across the two end-node
@@ -134,8 +139,8 @@ func ExtractSegments(l *geom.Layout, segs []int, opt Options) *Parasitics {
 			aLoNode, aHiNode := orderedNodes(sa)
 			bLoNode, bHiNode := orderedNodes(sb)
 			p.CCoupling = append(p.CCoupling,
-				CapPair{NodeA: aLoNode, NodeB: bLoNode, C: cc / 2},
-				CapPair{NodeA: aHiNode, NodeB: bHiNode, C: cc / 2},
+				CapPair{NodeA: aLoNode, NodeB: bLoNode, C: cv / 2},
+				CapPair{NodeA: aHiNode, NodeB: bHiNode, C: cv / 2},
 			)
 		}
 	}

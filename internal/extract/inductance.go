@@ -172,18 +172,19 @@ func MutualBars(pg geom.ParallelGeometry, wa, ta, wb, tb float64, opt GMDOptions
 // full dense PEEC matrix). The result is symmetric with positive
 // diagonal.
 //
-// Kernel evaluations go through the process-wide geometry-keyed cache
-// (see cache.go): each unique relative pair geometry is computed once,
-// and every value is bit-identical to the uncached path. With a finite
-// window the candidate pairs come from a uniform-grid spatial index
-// instead of the all-pairs scan, making windowed assembly O(n·k) in the
-// neighbour count k.
-func InductanceMatrix(l *geom.Layout, segs []int, window float64, opt GMDOptions) *matrix.Dense {
+// Kernel evaluations go through the geometry-keyed cache named by cache
+// (see cache.go — the zero CacheRef is the process-wide default): each
+// unique relative pair geometry is computed once, and every value is
+// bit-identical to the uncached path. With a finite window the candidate
+// pairs come from a uniform-grid spatial index instead of the all-pairs
+// scan, making windowed assembly O(n·k) in the neighbour count k.
+func InductanceMatrix(l *geom.Layout, segs []int, window float64, opt GMDOptions, cache CacheRef) *matrix.Dense {
 	n := len(segs)
 	m := matrix.NewDense(n, n)
 	pairs := pairCandidates(l, segs, window)
+	c := cache.Cache()
 	for i := 0; i < n; i++ {
-		fillInductanceRow(l, segs, window, opt, m, i, pairs)
+		fillInductanceRow(l, segs, window, opt, m, i, pairs, c)
 	}
 	return m
 }
@@ -218,12 +219,13 @@ func pairCandidates(l *geom.Layout, segs []int, window float64) [][]int {
 }
 
 // fillInductanceRow computes the diagonal entry and the mutuals of row
-// i, visiting either the indexed candidate list or every j > i.
-func fillInductanceRow(l *geom.Layout, segs []int, window float64, opt GMDOptions, m *matrix.Dense, i int, pairs [][]int) {
+// i, visiting either the indexed candidate list or every j > i. c is the
+// resolved kernel cache (nil = compute directly).
+func fillInductanceRow(l *geom.Layout, segs []int, window float64, opt GMDOptions, m *matrix.Dense, i int, pairs [][]int, c *KernelCache) {
 	n := len(segs)
 	si := &l.Segments[segs[i]]
 	t := l.Layers[si.Layer].Thickness
-	m.Set(i, i, SelfInductanceBarCached(si.Length, si.Width, t))
+	m.Set(i, i, c.SelfInductanceBar(si.Length, si.Width, t))
 	visit := func(j int) {
 		sj := &l.Segments[segs[j]]
 		pg, ok := l.Parallel(segs[i], segs[j])
@@ -231,7 +233,7 @@ func fillInductanceRow(l *geom.Layout, segs []int, window float64, opt GMDOption
 			return
 		}
 		tj := l.Layers[sj.Layer].Thickness
-		v := MutualBarsCached(pg, si.Width, t, sj.Width, tj, opt)
+		v := c.MutualBars(pg, si.Width, t, sj.Width, tj, opt)
 		m.Set(i, j, v)
 		m.Set(j, i, v)
 	}

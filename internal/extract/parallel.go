@@ -25,11 +25,12 @@ import (
 // the mutex-guarded handout this replaces serialized all workers through
 // one critical section per row.
 //
-// All workers share the process-wide geometry-keyed kernel cache; its
-// lock striping (64 shards, read-locked lookups) keeps contention
-// negligible, and because the memoized values are the kernels' exact
-// outputs the result stays bit-identical at every worker count.
-func InductanceMatrixParallel(l *geom.Layout, segs []int, window float64, opt GMDOptions, workers int) *matrix.Dense {
+// All workers share the geometry-keyed kernel cache named by cache (the
+// zero CacheRef is the process-wide default); its lock striping (64
+// shards, read-locked lookups) keeps contention negligible, and because
+// the memoized values are the kernels' exact outputs the result stays
+// bit-identical at every worker count.
+func InductanceMatrixParallel(l *geom.Layout, segs []int, window float64, opt GMDOptions, workers int, cache CacheRef) *matrix.Dense {
 	n := len(segs)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -38,10 +39,11 @@ func InductanceMatrixParallel(l *geom.Layout, segs []int, window float64, opt GM
 		workers = n
 	}
 	if workers <= 1 {
-		return InductanceMatrix(l, segs, window, opt)
+		return InductanceMatrix(l, segs, window, opt, cache)
 	}
 	m := matrix.NewDense(n, n)
 	pairs := pairCandidates(l, segs, window)
+	c := cache.Cache()
 	// A few strides per worker keeps the tail balanced even if one
 	// stride stalls (e.g. a worker descheduled by the OS).
 	numUnits := 4 * workers
@@ -60,7 +62,7 @@ func InductanceMatrixParallel(l *geom.Layout, segs []int, window float64, opt GM
 					return
 				}
 				for i := u; i < n; i += numUnits {
-					fillInductanceRow(l, segs, window, opt, m, i, pairs)
+					fillInductanceRow(l, segs, window, opt, m, i, pairs, c)
 				}
 			}
 		}()

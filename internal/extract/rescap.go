@@ -63,8 +63,16 @@ func GroundCap(l *geom.Layout, segIdx int) float64 {
 
 // CouplingCap returns the coupling capacitance (F) between two parallel
 // same-layer segments over their overlap length, zero when they do not
-// run side by side.
+// run side by side. The per-length kernel is memoized through the
+// process-default cache; ExtractSegments threads its own cache via
+// couplingCap.
 func CouplingCap(l *geom.Layout, i, j int) float64 {
+	return couplingCap(l, i, j, DefaultCacheRef().Cache())
+}
+
+// couplingCap is CouplingCap against an explicit resolved cache (nil =
+// compute directly).
+func couplingCap(l *geom.Layout, i, j int, c *KernelCache) float64 {
 	a := &l.Segments[i]
 	b := &l.Segments[j]
 	if a.Dir != b.Dir || a.Layer != b.Layer {
@@ -82,5 +90,5 @@ func CouplingCap(l *geom.Layout, i, j int) float64 {
 	w := math.Min(a.Width, b.Width)
 	// The per-length kernel is memoized by its exact arguments (see
 	// cache.go): on a regular bus every adjacent pair shares one entry.
-	return couplingCapPerLengthCached(w, ly.Thickness, ly.HBelow, sp) * ov
+	return c.couplingCapPerLength(w, ly.Thickness, ly.HBelow, sp) * ov
 }

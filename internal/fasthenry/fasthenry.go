@@ -43,6 +43,20 @@ type Options struct {
 	// Rho is the conductor resistivity used for skin-depth sizing
 	// (default copper).
 	Rho float64
+	// Mode selects the solve path (dense oracle, matrix-free GMRES, or
+	// auto by filament count). The zero value is ModeAuto.
+	Mode SolveMode
+	// ACATol is the relative tolerance of the ACA low-rank far-field
+	// blocks on the iterative path (default 1e-8).
+	ACATol float64
+	// Cache names the kernel cache the solver's partial-inductance
+	// entries go through. The zero value is the process-default shared
+	// cache (honoring the deprecated extract.SetKernelCache switch);
+	// sessions pass their own extract.PrivateCache() or extract.NoCache().
+	Cache extract.CacheRef
+	// Workers caps the sweep fan-out and dense-kernel goroutines.
+	// 0 = process default (matrix.Workers), 1 = fully serial.
+	Workers int
 }
 
 func (o Options) maxPerSide() int {
@@ -86,8 +100,10 @@ type Solver struct {
 	lpOnce sync.Once
 	lp     *matrix.Dense // dense partial inductance over filaments (lazy)
 
-	mode   SolveMode
-	acaTol float64
+	mode    SolveMode
+	acaTol  float64
+	cache   extract.CacheRef
+	workers int
 
 	opOnce sync.Once
 	op     *extract.CompressedL // compressed partial inductance (lazy)
@@ -189,6 +205,8 @@ func NewSolver(l *geom.Layout, segs []int, port Port, shorts [][2]string, fRef f
 	return &Solver{
 		layout: l, fils: fils,
 		nNodes: len(nodeID), plus: plus, minus: minus,
+		mode: opt.Mode, acaTol: opt.ACATol,
+		cache: opt.Cache, workers: opt.Workers,
 	}, nil
 }
 
@@ -203,9 +221,10 @@ func (s *Solver) lpEntry(i, j int) float64 {
 	if i > j {
 		i, j = j, i
 	}
+	c := s.cache.Cache()
 	fi := &s.fils[i]
 	if i == j {
-		return extract.SelfInductanceBarCached(fi.length, fi.w, fi.t)
+		return c.SelfInductanceBar(fi.length, fi.w, fi.t)
 	}
 	fj := &s.fils[j]
 	if fi.dir != fj.dir {
@@ -224,7 +243,7 @@ func (s *Solver) lpEntry(i, j int) float64 {
 		// mean self-GMD so the formula stays finite.
 		d = extract.SelfGMDFactor * (fi.w + fi.t + fj.w + fj.t) / 2
 	}
-	return extract.MutualFilamentsCached(fi.length, fj.length, off, d)
+	return c.MutualFilaments(fi.length, fj.length, off, d)
 }
 
 // denseLP materializes (once) the dense partial-inductance matrix over
@@ -399,10 +418,14 @@ type Point struct {
 
 // Sweep extracts the port impedance at each frequency. Points are
 // independent complex solves, so the sweep fans out across workers
-// (matrix.SetWorkers controls the count); results are identical to a
-// serial loop, in ascending frequency order.
+// (Options.Workers, or matrix.SetWorkers when unset); results are
+// identical to a serial loop, in ascending frequency order.
 func (s *Solver) Sweep(freqs []float64) ([]Point, error) {
-	return s.SweepParallel(freqs, matrix.Workers())
+	w := s.workers
+	if w <= 0 {
+		w = matrix.Workers()
+	}
+	return s.SweepParallel(freqs, w)
 }
 
 // LogSpace returns n logarithmically spaced frequencies in [f0, f1].

@@ -71,6 +71,10 @@ func ParseSolveMode(s string) (SolveMode, error) {
 // SetSolveMode selects the solve path. Call before the first solve:
 // the dense matrix and the compressed operator are each built once, on
 // first use by their respective paths.
+//
+// Deprecated: set Options.Mode when constructing the solver (or build
+// it through an engine.Session); mutating a shared solver races with
+// concurrent sweeps.
 func (s *Solver) SetSolveMode(m SolveMode) { s.mode = m }
 
 // SolveModeInUse reports the mode Impedance will actually run
@@ -80,6 +84,9 @@ func (s *Solver) SolveModeInUse() SolveMode { return s.effectiveMode() }
 // SetACATol sets the relative tolerance of the ACA low-rank far-field
 // blocks (default 1e-8). It must be called before the first iterative
 // solve; the compressed operator is built once and cached.
+//
+// Deprecated: set Options.ACATol when constructing the solver (or
+// build it through an engine.Session).
 func (s *Solver) SetACATol(tol float64) { s.acaTol = tol }
 
 func (s *Solver) effectiveMode() SolveMode {

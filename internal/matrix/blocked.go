@@ -91,7 +91,7 @@ func trailingSub(d []float64, n, i0, i1, j0, j1, k0, k1 int) {
 // matrix product — the panel rows first (sequentially, since row k
 // consumes rows k0..k-1), then the trailing submatrix in parallel
 // column strips.
-func factorLUBlocked(d []float64, n int, piv []int) (int, error) {
+func factorLUBlocked(d []float64, n int, piv []int, workers int) (int, error) {
 	sign := 1
 	for k0 := 0; k0 < n; k0 += blockSize {
 		k1 := imin(k0+blockSize, n)
@@ -130,7 +130,7 @@ func factorLUBlocked(d []float64, n int, piv []int) (int, error) {
 		for k := k0 + 1; k < k1; k++ {
 			trailingSub(d, n, k, k+1, k1, n, k0, k)
 		}
-		ParallelRange(n-k1, 2*blockSize, func(lo, hi int) {
+		ParallelRangeWorkers(workers, n-k1, 2*blockSize, func(lo, hi int) {
 			trailingSub(d, n, k1, n, k1+lo, k1+hi, k0, k1)
 		})
 	}
@@ -214,7 +214,7 @@ func cholRowUpdate(ld []float64, n, i, j0, j1, k0, k1 int) {
 // triangle, the rows below the panel in parallel strips — then the panel
 // is factored in place with the reference left-looking loop restricted
 // to k in [j0,j).
-func factorCholeskyBlocked(ld, ad []float64, n int) error {
+func factorCholeskyBlocked(ld, ad []float64, n int, workers int) error {
 	for i := 0; i < n; i++ {
 		copy(ld[i*n:i*n+i+1], ad[i*n:i*n+i+1])
 	}
@@ -224,7 +224,7 @@ func factorCholeskyBlocked(ld, ad []float64, n int) error {
 			for i := j0; i < j1; i++ {
 				cholRowUpdate(ld, n, i, j0, imin(i+1, j1), 0, j0)
 			}
-			ParallelRange(n-j1, 2*blockSize, func(lo, hi int) {
+			ParallelRangeWorkers(workers, n-j1, 2*blockSize, func(lo, hi int) {
 				cholUpdateRect(ld, n, j1+lo, j1+hi, j0, j1, 0, j0)
 			})
 		}

@@ -16,16 +16,25 @@ var ErrNotPositiveDefinite = errors.New("matrix: matrix is not positive definite
 
 // Cholesky holds the lower-triangular factor of A = L*L^T.
 type Cholesky struct {
-	l *Dense
+	l       *Dense
+	workers int // worker count for SolveMat; 0 = process default
 }
 
 // FactorCholesky computes the Cholesky factorization of the symmetric
 // positive definite matrix a. Only the lower triangle of a is read.
 // Matrices of dimension blockedMin and up go through the cache-blocked,
 // parallel kernel; the result is bit-identical to
-// FactorCholeskyUnblocked at every worker count.
+// FactorCholeskyUnblocked at every worker count. The worker count is the
+// process default; FactorCholeskyWorkers pins it per run.
 func FactorCholesky(a *Dense) (*Cholesky, error) {
-	return factorCholesky(a, a.rows >= blockedMin)
+	return factorCholesky(a, a.rows >= blockedMin, 0)
+}
+
+// FactorCholeskyWorkers is FactorCholesky with an explicit worker count
+// used by the factorization and remembered for SolveMat on the returned
+// factor. workers <= 0 resolves to the process default (Workers).
+func FactorCholeskyWorkers(a *Dense, workers int) (*Cholesky, error) {
+	return factorCholesky(a, a.rows >= blockedMin, workers)
 }
 
 // FactorCholeskyUnblocked runs the serial, unblocked reference
@@ -33,10 +42,10 @@ func FactorCholesky(a *Dense) (*Cholesky, error) {
 // the equivalence tests and speedup benchmarks; solvers should call
 // FactorCholesky.
 func FactorCholeskyUnblocked(a *Dense) (*Cholesky, error) {
-	return factorCholesky(a, false)
+	return factorCholesky(a, false, 0)
 }
 
-func factorCholesky(a *Dense, blocked bool) (*Cholesky, error) {
+func factorCholesky(a *Dense, blocked bool, workers int) (*Cholesky, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("matrix: Cholesky of non-square %dx%d", a.rows, a.cols)
 	}
@@ -44,14 +53,14 @@ func factorCholesky(a *Dense, blocked bool) (*Cholesky, error) {
 	l := NewDense(n, n)
 	var err error
 	if blocked {
-		err = factorCholeskyBlocked(l.data, a.data, n)
+		err = factorCholeskyBlocked(l.data, a.data, n, workers)
 	} else {
 		err = factorCholeskyUnblocked(l.data, a.data, n)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Cholesky{l: l}, nil
+	return &Cholesky{l: l, workers: workers}, nil
 }
 
 // factorCholeskyUnblocked is the reference kernel: left-looking
@@ -120,7 +129,7 @@ func (c *Cholesky) SolveMat(b *Dense) (*Dense, error) {
 	if n >= 128 {
 		minChunk = 1
 	}
-	ParallelRange(b.cols, minChunk, func(lo, hi int) {
+	ParallelRangeWorkers(c.workers, b.cols, minChunk, func(lo, hi int) {
 		col := make([]float64, n)
 		for j := lo; j < hi; j++ {
 			for i := 0; i < n; i++ {

@@ -227,8 +227,15 @@ func (m *Dense) MulVec(x []float64) []float64 {
 // alias x) and returns dst. Rows are independent dot products, split
 // across workers for large matrices; each row is accumulated exactly as
 // in the serial loop. This is the allocation-free matvec used by the
-// transient simulator's per-step history product.
+// transient simulator's per-step history product. The worker count is
+// the process default; MulVecToWorkers pins it per run.
 func (m *Dense) MulVecTo(dst, x []float64) []float64 {
+	return m.MulVecToWorkers(dst, x, 0)
+}
+
+// MulVecToWorkers is MulVecTo with an explicit worker count. workers <= 0
+// falls back to the process default (Workers).
+func (m *Dense) MulVecToWorkers(dst, x []float64, workers int) []float64 {
 	if m.cols != len(x) {
 		panic("matrix: MulVec dimension mismatch")
 	}
@@ -239,7 +246,7 @@ func (m *Dense) MulVecTo(dst, x []float64) []float64 {
 	if m.cols > 0 {
 		minChunk = 1 + (1<<14)/m.cols
 	}
-	ParallelRange(m.rows, minChunk, func(lo, hi int) {
+	ParallelRangeWorkers(workers, m.rows, minChunk, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			mi := m.data[i*m.cols : (i+1)*m.cols]
 			s := 0.0

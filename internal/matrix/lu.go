@@ -14,28 +14,37 @@ var ErrSingular = errors.New("matrix: singular matrix")
 // is unit lower triangular and U upper triangular, packed into a single
 // matrix.
 type LU struct {
-	lu   *Dense
-	piv  []int // row i of the factor came from row piv[i] of A
-	sign int   // determinant sign from row swaps
+	lu      *Dense
+	piv     []int // row i of the factor came from row piv[i] of A
+	sign    int   // determinant sign from row swaps
+	workers int   // worker count for SolveMat; 0 = process default
 }
 
 // FactorLU computes the LU factorization with partial pivoting of the
 // square matrix a. a is not modified. Matrices of dimension blockedMin
 // and up go through the cache-blocked, parallel kernel; the result is
 // bit-identical to FactorLUUnblocked at every worker count (the blocked
-// kernel preserves the reference per-entry operation order).
+// kernel preserves the reference per-entry operation order). The worker
+// count is the process default; FactorLUWorkers pins it per run.
 func FactorLU(a *Dense) (*LU, error) {
-	return factorLU(a, a.rows >= blockedMin)
+	return factorLU(a, a.rows >= blockedMin, 0)
+}
+
+// FactorLUWorkers is FactorLU with an explicit worker count used by the
+// factorization and remembered for SolveMat on the returned factor.
+// workers <= 0 resolves to the process default (Workers) at each use.
+func FactorLUWorkers(a *Dense, workers int) (*LU, error) {
+	return factorLU(a, a.rows >= blockedMin, workers)
 }
 
 // FactorLUUnblocked runs the serial, unblocked reference factorization
 // regardless of size. It exists as the ground truth for the equivalence
 // tests and speedup benchmarks; solvers should call FactorLU.
 func FactorLUUnblocked(a *Dense) (*LU, error) {
-	return factorLU(a, false)
+	return factorLU(a, false, 0)
 }
 
-func factorLU(a *Dense, blocked bool) (*LU, error) {
+func factorLU(a *Dense, blocked bool, workers int) (*LU, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("matrix: LU of non-square %dx%d", a.rows, a.cols)
 	}
@@ -48,14 +57,14 @@ func factorLU(a *Dense, blocked bool) (*LU, error) {
 	var sign int
 	var err error
 	if blocked {
-		sign, err = factorLUBlocked(lu.data, n, piv)
+		sign, err = factorLUBlocked(lu.data, n, piv, workers)
 	} else {
 		sign, err = factorLUUnblocked(lu.data, n, piv)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	return &LU{lu: lu, piv: piv, sign: sign, workers: workers}, nil
 }
 
 // factorLUUnblocked is the reference kernel: right-looking LU with
@@ -143,7 +152,7 @@ func (f *LU) SolveMat(b *Dense) (*Dense, error) {
 	if n >= 128 {
 		minChunk = 1
 	}
-	ParallelRange(b.cols, minChunk, func(lo, hi int) {
+	ParallelRangeWorkers(f.workers, b.cols, minChunk, func(lo, hi int) {
 		col := make([]float64, n)
 		for j := lo; j < hi; j++ {
 			for i := 0; i < n; i++ {

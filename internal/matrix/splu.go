@@ -68,9 +68,10 @@ type spSymbolic struct {
 // SparseLUOf is a sparse LU factorization P*A*Q = L*U with values of
 // type T over a shared symbolic pattern.
 type SparseLUOf[T Scalar] struct {
-	sym *spSymbolic
-	lx  []T
-	ux  []T
+	sym     *spSymbolic
+	lx      []T
+	ux      []T
+	workers int // worker count for Refactor; 0 = process default
 }
 
 // SparseLU is the real-valued sparse factorization (transient companion
@@ -84,8 +85,32 @@ type SparseCLU = SparseLUOf[complex128]
 // sparse matrix a.
 func FactorSparseLU(a *CSC) (*SparseLU, error) { return FactorSparseOrdered(a, nil) }
 
+// FactorSparseLUWorkers is FactorSparseLU with an explicit worker count
+// remembered for Refactor on the returned factorization (and on numeric
+// copies made via NewNumeric). workers <= 0 resolves to the process
+// default (Workers) at each Refactor.
+func FactorSparseLUWorkers(a *CSC, workers int) (*SparseLU, error) {
+	f, err := FactorSparseOrdered(a, nil)
+	if err != nil {
+		return nil, err
+	}
+	f.workers = workers
+	return f, nil
+}
+
 // FactorSparseCLU orders and factors the square complex sparse matrix a.
 func FactorSparseCLU(a *CCSC) (*SparseCLU, error) { return FactorSparseOrdered(a, nil) }
+
+// FactorSparseCLUWorkers is FactorSparseCLU with an explicit worker
+// count remembered for Refactor, as in FactorSparseLUWorkers.
+func FactorSparseCLUWorkers(a *CCSC, workers int) (*SparseCLU, error) {
+	f, err := FactorSparseOrdered(a, nil)
+	if err != nil {
+		return nil, err
+	}
+	f.workers = workers
+	return f, nil
+}
 
 // FactorSparseOrdered factors a with the given column elimination order
 // (nil computes a minimum-degree order). The returned factorization
@@ -325,7 +350,7 @@ func (s *spSymbolic) buildLevels() {
 // symbolic pattern; fill it with Refactor. This is how per-frequency AC
 // workers and per-step-size transient factors avoid re-analysis.
 func (f *SparseLUOf[T]) NewNumeric() *SparseLUOf[T] {
-	return &SparseLUOf[T]{sym: f.sym, lx: make([]T, len(f.lx)), ux: make([]T, len(f.ux))}
+	return &SparseLUOf[T]{sym: f.sym, lx: make([]T, len(f.lx)), ux: make([]T, len(f.ux)), workers: f.workers}
 }
 
 // N returns the factored system dimension.
@@ -338,10 +363,11 @@ func (f *SparseLUOf[T]) FactorNNZ() int { return len(f.lx) + len(f.ux) }
 // Refactor recomputes the numeric factorization of a, which must have
 // exactly the sparsity pattern the factorization was analyzed on, using
 // the frozen pivot order. No allocation or graph work happens; columns
-// on the same dependency level run in parallel when SetWorkers allows.
-// Returns ErrSingular on a zero pivot and ErrPivotDrift when a pivot
-// lost too much magnitude relative to its column — in both cases the
-// caller should fall back to a fresh FactorSparseLU.
+// on the same dependency level run in parallel, using the worker count
+// the factorization was created with (the *Workers constructors) or the
+// process default. Returns ErrSingular on a zero pivot and ErrPivotDrift
+// when a pivot lost too much magnitude relative to its column — in both
+// cases the caller should fall back to a fresh FactorSparseLU.
 func (f *SparseLUOf[T]) Refactor(a *CSCOf[T]) error {
 	s := f.sym
 	if a.rows != s.n || a.cols != s.n {
@@ -350,7 +376,10 @@ func (f *SparseLUOf[T]) Refactor(a *CSCOf[T]) error {
 	if a.NNZ() != s.nnzA {
 		return fmt.Errorf("matrix: Refactor pattern changed (%d nonzeros, analyzed %d)", a.NNZ(), s.nnzA)
 	}
-	workers := Workers()
+	workers := f.workers
+	if workers <= 0 {
+		workers = Workers()
+	}
 	if workers <= 1 || s.n < 64 {
 		w := make([]T, s.n)
 		return f.refactorCols(a, w, s.levelCol) // levelCol covers every column; serial order is valid
@@ -360,7 +389,7 @@ func (f *SparseLUOf[T]) Refactor(a *CSCOf[T]) error {
 	var firstErr error
 	for l := 0; l+1 < len(s.levelPtr); l++ {
 		cols := s.levelCol[s.levelPtr[l]:s.levelPtr[l+1]]
-		ParallelRange(len(cols), 16, func(lo, hi int) {
+		ParallelRangeWorkers(workers, len(cols), 16, func(lo, hi int) {
 			w := pool.Get().([]T)
 			if err := f.refactorCols(a, w, cols[lo:hi]); err != nil {
 				mu.Lock()

@@ -21,6 +21,13 @@ var workerCount int64
 // per-element operation order as the serial reference kernel, so results
 // are bit-identical at every worker count; SetWorkers only trades wall
 // clock for cores.
+//
+// Deprecated: SetWorkers mutates process-wide state, so two analyses
+// with different settings cannot coexist. New code should pass an
+// explicit worker count instead — build an engine.Config (see
+// internal/engine) and use the *Workers factor variants (FactorLUWorkers,
+// FactorCholeskyWorkers, FactorSparseLUWorkers) or ParallelRangeWorkers.
+// The shim remains so existing call sites keep their exact behavior.
 func SetWorkers(n int) {
 	if n < 0 {
 		n = 0
@@ -41,12 +48,26 @@ func Workers() int {
 // runs fn on each chunk, blocking until all complete. Chunks smaller
 // than minChunk are not worth a goroutine: the worker count is capped at
 // n/minChunk, and with one worker (or tiny n) fn runs inline. fn must
-// write only to locations owned by its chunk.
+// write only to locations owned by its chunk. The worker count is the
+// process default (Workers); use ParallelRangeWorkers to pin it per run.
 func ParallelRange(n, minChunk int, fn func(lo, hi int)) {
+	ParallelRangeWorkers(0, n, minChunk, fn)
+}
+
+// ParallelRangeWorkers is ParallelRange with an explicit worker count.
+// workers <= 0 falls back to the process default (Workers), so a zero
+// value threaded from an unset config reproduces ParallelRange exactly.
+// Chunk boundaries depend only on (workers, n, minChunk) and each output
+// location is written by exactly one goroutine, so results are
+// bit-identical at every worker count.
+func ParallelRangeWorkers(workers, n, minChunk int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	w := Workers()
+	w := workers
+	if w <= 0 {
+		w = Workers()
+	}
 	if minChunk > 0 && w > n/minChunk {
 		w = n / minChunk
 	}

@@ -49,6 +49,8 @@ type acPattern struct {
 	// base is the symbolic-donor factorization shared across a sweep;
 	// prime() fills it deterministically before any parallel solves.
 	base *matrix.SparseCLU
+	// pol pins the solver resources of the analysis the pattern serves.
+	pol Policy
 }
 
 func buildACPattern(m *circuit.MNA) *acPattern { return acPatternFromNetlist(m.N) }
@@ -153,10 +155,10 @@ func (p *acPattern) assemble(omega float64) *matrix.CCSC {
 // point refactors numerically over this pattern, so results do not
 // depend on which point happens to run first.
 func (p *acPattern) prime(omega float64) error {
-	if p.size < sparseThreshold || p.base != nil {
+	if !p.pol.sparseAt(p.size) || p.base != nil {
 		return nil
 	}
-	f, err := matrix.FactorSparseCLU(p.assemble(omega))
+	f, err := matrix.FactorSparseCLUWorkers(p.assemble(omega), p.pol.Workers)
 	if err != nil {
 		return err
 	}
@@ -171,7 +173,7 @@ func (p *acPattern) prime(omega float64) error {
 // build, so the matrix and the solution are identical to the historical
 // dense scan.
 func (p *acPattern) solve(n *circuit.Netlist, omega float64, stim ACStimulus) ([]complex128, error) {
-	if p.size >= sparseThreshold {
+	if p.pol.sparseAt(p.size) {
 		return p.solveSparse(n, omega, stim)
 	}
 	a := matrix.NewCDense(p.size, p.size)
@@ -195,7 +197,7 @@ func (p *acPattern) solveSparse(n *circuit.Netlist, omega float64, stim ACStimul
 		}
 	}
 	if f == nil {
-		fresh, err := matrix.FactorSparseCLU(a)
+		fresh, err := matrix.FactorSparseCLUWorkers(a, p.pol.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -221,12 +223,19 @@ type ACPoint struct {
 
 // ACSweep runs AC at logarithmically spaced frequencies from fStart to
 // fStop (inclusive, pointsPerDecade per decade) and records the complex
-// voltage of the probe node. The G/C sparsity pattern is extracted once
-// and the frequency points — independent complex solves — run in
-// parallel (matrix.SetWorkers controls the fan-out). Results are
-// bit-identical to the serial sweep: each point is one self-contained
-// solve.
+// voltage of the probe node, under the process-default solver policy.
+// ACSweepPolicy pins the policy per run.
 func ACSweep(n *circuit.Netlist, probe string, stim ACStimulus, fStart, fStop float64, pointsPerDecade int) ([]ACPoint, error) {
+	return ACSweepPolicy(n, probe, stim, fStart, fStop, pointsPerDecade, Policy{})
+}
+
+// ACSweepPolicy is ACSweep under an explicit solver policy. The G/C
+// sparsity pattern is extracted once and the frequency points —
+// independent complex solves — run in parallel (the policy's worker
+// count, or matrix.SetWorkers when unset, controls the fan-out).
+// Results are bit-identical to the serial sweep: each point is one
+// self-contained solve.
+func ACSweepPolicy(n *circuit.Netlist, probe string, stim ACStimulus, fStart, fStop float64, pointsPerDecade int, pol Policy) ([]ACPoint, error) {
 	if fStart <= 0 || fStop <= fStart {
 		return nil, fmt.Errorf("sim: bad AC sweep range [%g, %g]", fStart, fStop)
 	}
@@ -241,6 +250,7 @@ func ACSweep(n *circuit.Netlist, probe string, stim ACStimulus, fStart, fStop fl
 		return nil, fmt.Errorf("sim: AC analysis of nonlinear netlists is not supported (linearize first)")
 	}
 	pat := acPatternFromNetlist(n)
+	pat.pol = pol
 	if err := pat.prime(2 * math.Pi * fStart); err != nil {
 		return nil, fmt.Errorf("sim: AC at %g Hz: %w", fStart, err)
 	}
@@ -248,7 +258,7 @@ func ACSweep(n *circuit.Netlist, probe string, stim ACStimulus, fStart, fStop fl
 	nPts := int(decades*float64(pointsPerDecade)) + 1
 	out := make([]ACPoint, nPts+1)
 	errs := make([]error, nPts+1)
-	matrix.ParallelRange(nPts+1, 1, func(lo, hi int) {
+	matrix.ParallelRangeWorkers(pol.Workers, nPts+1, 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			f := fStart * math.Pow(10, decades*float64(k)/float64(nPts))
 			x, err := pat.solve(n, 2*math.Pi*f, stim)

@@ -24,6 +24,9 @@ type AdaptiveOptions struct {
 	MaxNewton int
 	NewtonTol float64
 	Gmin      float64
+	// Policy pins the run's solver resources (worker count, dense/sparse
+	// switch-over). The zero value inherits the process defaults.
+	Policy Policy
 }
 
 func (o *AdaptiveOptions) setDefaults() error {
@@ -91,7 +94,7 @@ func (s *stepper) factors(h float64) (*stepFactor, error) {
 	hist := s.m.C.Clone().Scale(alpha).AddScaled(-1, s.m.G)
 	f := &stepFactor{aLin: aLin, hist: hist}
 	if s.linear {
-		lu, err := matrix.FactorLU(aLin)
+		lu, err := matrix.FactorLUWorkers(aLin, s.opt.Policy.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("sim: singular adaptive system at h=%g: %w", h, err)
 		}
@@ -124,7 +127,7 @@ func (s *stepper) advance(x, bPrev, fPrev []float64, t, h float64) ([]float64, e
 	if s.linear {
 		return f.lu.Solve(rhs)
 	}
-	topt := TranOptions{MaxNewton: s.opt.MaxNewton, NewtonTol: s.opt.NewtonTol}
+	topt := TranOptions{MaxNewton: s.opt.MaxNewton, NewtonTol: s.opt.NewtonTol, Policy: s.opt.Policy}
 	xn, _, err := newtonStep(s.m.N, f.aLin, rhs, x, topt)
 	return xn, err
 }
@@ -150,11 +153,11 @@ func TranAdaptive(n *circuit.Netlist, opt AdaptiveOptions) (*TranResult, error) 
 	if err := opt.setDefaults(); err != nil {
 		return nil, err
 	}
-	if useSparsePath(n) {
+	if useSparsePath(n, opt.Policy) {
 		return tranAdaptiveSparse(n, opt)
 	}
 	m := circuit.Build(n)
-	x0, err := OP(m, 0, TranOptions{MaxNewton: opt.MaxNewton, NewtonTol: opt.NewtonTol, Gmin: opt.Gmin})
+	x0, err := OP(m, 0, TranOptions{MaxNewton: opt.MaxNewton, NewtonTol: opt.NewtonTol, Gmin: opt.Gmin, Policy: opt.Policy})
 	if err != nil {
 		return nil, err
 	}

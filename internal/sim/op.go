@@ -87,7 +87,7 @@ func OP(m *circuit.MNA, t0 float64, opt TranOptions) ([]float64, error) {
 
 	x := make([]float64, size)
 	if len(n.MOSFETs) == 0 {
-		sol, err := matrix.SolveDense(base, b0)
+		sol, err := solveDensePolicy(base, b0, opt.Policy)
 		if err != nil {
 			return nil, fmt.Errorf("sim: singular DC system: %w", err)
 		}
@@ -97,7 +97,7 @@ func OP(m *circuit.MNA, t0 float64, opt TranOptions) ([]float64, error) {
 		a := base.Clone()
 		rhs := matrix.CloneVec(b0)
 		stampDevices(n, x, a, rhs)
-		xNew, err := matrix.SolveDense(a, rhs)
+		xNew, err := solveDensePolicy(a, rhs, opt.Policy)
 		if err != nil {
 			return nil, fmt.Errorf("sim: singular Newton system at iteration %d: %w", it, err)
 		}

@@ -42,6 +42,9 @@ type TranOptions struct {
 	Gmin float64
 	// SaveEvery keeps every k-th point (default 1 = all).
 	SaveEvery int
+	// Policy pins the run's solver resources (worker count, dense/sparse
+	// switch-over). The zero value inherits the process defaults.
+	Policy Policy
 }
 
 func (o *TranOptions) setDefaults() error {

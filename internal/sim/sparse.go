@@ -19,6 +19,13 @@ var sparseThreshold = 256
 // SetSparseThreshold sets the dense/sparse switch-over size and returns
 // the previous value. Tests and benchmarks use it to force one path or
 // the other; production code should leave the default alone.
+//
+// Deprecated: SetSparseThreshold mutates process-wide state, so two
+// analyses with different switch-over sizes cannot coexist. New code
+// should set Policy.SparseThreshold on the run's
+// TranOptions/AdaptiveOptions (or the ACSweepPolicy argument) instead —
+// see internal/engine for the config that builds one per run. The shim
+// remains so existing call sites keep their exact behavior.
 func SetSparseThreshold(n int) int {
 	old := sparseThreshold
 	sparseThreshold = n
@@ -26,11 +33,11 @@ func SetSparseThreshold(n int) int {
 }
 
 // useSparsePath reports whether the netlist's linear analyses should
-// run on the sparse direct solver. Nonlinear netlists stay dense: the
-// Newton loop restamps the MOSFET Jacobian into a dense copy each
-// iteration.
-func useSparsePath(n *circuit.Netlist) bool {
-	return len(n.MOSFETs) == 0 && n.Size() >= sparseThreshold
+// run on the sparse direct solver under the given policy. Nonlinear
+// netlists stay dense: the Newton loop restamps the MOSFET Jacobian
+// into a dense copy each iteration.
+func useSparsePath(n *circuit.Netlist, pol Policy) bool {
+	return len(n.MOSFETs) == 0 && pol.sparseAt(n.Size())
 }
 
 // sparseGmin returns G + gmin*I(nodes) as a fresh triplet — the sparse
@@ -46,11 +53,11 @@ func sparseGmin(sm *circuit.SparseMNA, gmin float64) *matrix.Triplet {
 
 // opSparse computes the DC operating point of a linear netlist with the
 // sparse LU (capacitors open, inductors short, sources at t0).
-func opSparse(sm *circuit.SparseMNA, t0, gmin float64) ([]float64, error) {
+func opSparse(sm *circuit.SparseMNA, t0, gmin float64, workers int) ([]float64, error) {
 	if gmin <= 0 {
 		gmin = 1e-12
 	}
-	f, err := matrix.FactorSparseLU(sparseGmin(sm, gmin).ToCSC())
+	f, err := matrix.FactorSparseLUWorkers(sparseGmin(sm, gmin).ToCSC(), workers)
 	if err != nil {
 		return nil, fmt.Errorf("sim: singular DC system: %w", err)
 	}
@@ -65,7 +72,7 @@ func opSparse(sm *circuit.SparseMNA, t0, gmin float64) ([]float64, error) {
 // CSR — nothing O(size^2) is ever built.
 func tranSparse(n *circuit.Netlist, opt TranOptions) (*TranResult, error) {
 	sm := circuit.BuildSparse(n)
-	x0, err := opSparse(sm, 0, opt.Gmin)
+	x0, err := opSparse(sm, 0, opt.Gmin, opt.Policy.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +90,7 @@ func tranSparse(n *circuit.Netlist, opt TranOptions) (*TranResult, error) {
 
 	// A_lin = alpha*C + G (+gmin); Hist = alpha*C - G (trap) or alpha*C (BE).
 	aLin := sparseGmin(sm, opt.Gmin).AddScaled(alpha, sm.C)
-	f, err := matrix.FactorSparseLU(aLin.ToCSC())
+	f, err := matrix.FactorSparseLUWorkers(aLin.ToCSC(), opt.Policy.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("sim: singular transient system: %w", err)
 	}
@@ -133,10 +140,11 @@ func tranSparse(n *circuit.Netlist, opt TranOptions) (*TranResult, error) {
 // pattern of the first factored step size and refactor numerically;
 // only a pattern change or pivot drift falls back to a fresh analysis.
 type sparseStepper struct {
-	sm    *circuit.SparseMNA
-	gminG *matrix.Triplet // G + gmin
-	cache map[float64]*sparseStepFactor
-	sym   *matrix.SparseLU // symbolic donor from the first factorization
+	sm      *circuit.SparseMNA
+	gminG   *matrix.Triplet // G + gmin
+	cache   map[float64]*sparseStepFactor
+	sym     *matrix.SparseLU // symbolic donor from the first factorization
+	workers int              // Refactor/factor worker count; 0 = process default
 	// refreshed counts fresh re-analyses forced by drift/pattern change.
 	refreshed int
 }
@@ -146,11 +154,12 @@ type sparseStepFactor struct {
 	hist *matrix.CSR
 }
 
-func newSparseStepper(sm *circuit.SparseMNA, gmin float64) *sparseStepper {
+func newSparseStepper(sm *circuit.SparseMNA, gmin float64, workers int) *sparseStepper {
 	return &sparseStepper{
-		sm:    sm,
-		gminG: sparseGmin(sm, gmin),
-		cache: make(map[float64]*sparseStepFactor),
+		sm:      sm,
+		gminG:   sparseGmin(sm, gmin),
+		cache:   make(map[float64]*sparseStepFactor),
+		workers: workers,
 	}
 }
 
@@ -169,7 +178,7 @@ func (s *sparseStepper) factors(h float64) (*sparseStepFactor, error) {
 		}
 	}
 	if lu == nil {
-		fresh, err := matrix.FactorSparseLU(a)
+		fresh, err := matrix.FactorSparseLUWorkers(a, s.workers)
 		if err != nil {
 			return nil, fmt.Errorf("sim: singular adaptive system at h=%g: %w", h, err)
 		}
@@ -208,11 +217,11 @@ func (s *sparseStepper) advance(x, bPrev []float64, t, h float64) ([]float64, er
 // vector is identically zero and drops out).
 func tranAdaptiveSparse(n *circuit.Netlist, opt AdaptiveOptions) (*TranResult, error) {
 	sm := circuit.BuildSparse(n)
-	x0, err := opSparse(sm, 0, opt.Gmin)
+	x0, err := opSparse(sm, 0, opt.Gmin, opt.Policy.Workers)
 	if err != nil {
 		return nil, err
 	}
-	s := newSparseStepper(sm, opt.Gmin)
+	s := newSparseStepper(sm, opt.Gmin, opt.Policy.Workers)
 	res := &TranResult{Netlist: n}
 	x := matrix.CloneVec(x0)
 	t := 0.0

@@ -13,7 +13,7 @@ func Tran(n *circuit.Netlist, opt TranOptions) (*TranResult, error) {
 	if err := opt.setDefaults(); err != nil {
 		return nil, err
 	}
-	if useSparsePath(n) {
+	if useSparsePath(n, opt.Policy) {
 		return tranSparse(n, opt)
 	}
 	m := circuit.Build(n)
@@ -56,7 +56,7 @@ func TranFrom(m *circuit.MNA, x0 []float64, opt TranOptions) (*TranResult, error
 	linear := len(n.MOSFETs) == 0
 	var luLin *matrix.LU
 	if linear {
-		lu, err := matrix.FactorLU(aLin)
+		lu, err := matrix.FactorLUWorkers(aLin, opt.Policy.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("sim: singular transient system: %w", err)
 		}
@@ -87,7 +87,7 @@ func TranFrom(m *circuit.MNA, x0 []float64, opt TranOptions) (*TranResult, error
 	for k := 1; k <= steps; k++ {
 		t := float64(k) * h
 		m.RHS(t, bNow)
-		hist.MulVecTo(rhsBase, x)
+		hist.MulVecToWorkers(rhsBase, x, opt.Policy.Workers)
 		if opt.Method == Trapezoidal {
 			matrix.Axpy(1, bPrev, rhsBase)
 			matrix.Axpy(1, fPrev, rhsBase)
@@ -133,7 +133,7 @@ func newtonStep(n *circuit.Netlist, aLin *matrix.Dense, rhsBase, x0 []float64, o
 		a := aLin.Clone()
 		rhs := matrix.CloneVec(rhsBase)
 		stampDevices(n, x, a, rhs)
-		xNew, err := matrix.SolveDense(a, rhs)
+		xNew, err := solveDensePolicy(a, rhs, opt.Policy)
 		if err != nil {
 			return nil, it, fmt.Errorf("singular Newton system: %w", err)
 		}

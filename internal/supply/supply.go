@@ -79,6 +79,17 @@ type Report struct {
 	NodeDroop map[string]float64
 }
 
+// ValidateIRSolver rejects unknown Spec.IRSolver spellings. "" is the
+// dense default. CLIs call this before doing any work so a typo fails
+// in milliseconds, not after the transient.
+func ValidateIRSolver(s string) error {
+	switch s {
+	case "", "dense", "cg", "chol":
+		return nil
+	}
+	return fmt.Errorf("supply: unknown IR solver %q (want dense, cg or chol)", s)
+}
+
 // Analyze runs the transient and the static reference solve.
 func Analyze(spec Spec) (*Report, error) {
 	if len(spec.Bursts) == 0 {
@@ -86,6 +97,9 @@ func Analyze(spec Spec) (*Report, error) {
 	}
 	if spec.TStop <= 0 || spec.TStep <= 0 {
 		return nil, fmt.Errorf("supply: bad transient window")
+	}
+	if err := ValidateIRSolver(spec.IRSolver); err != nil {
+		return nil, err
 	}
 	m, n, err := build(spec)
 	if err != nil {

@@ -23,8 +23,24 @@ if [ -n "$unformatted" ]; then
 fi
 
 # The fasthenry package includes the iterative-sweep race coverage: a
-# shared ACA-compressed operator driven by parallel frequency workers.
-echo "== race detector (matrix, extract, fasthenry, sim)"
-go test -race ./internal/matrix ./internal/extract ./internal/fasthenry ./internal/sim
+# shared ACA-compressed operator driven by parallel frequency workers;
+# engine runs two concurrent sessions with conflicting configs.
+echo "== race detector (matrix, extract, fasthenry, sim, engine)"
+go test -race ./internal/matrix ./internal/extract ./internal/fasthenry ./internal/sim ./internal/engine
+
+# No new mutable package-level tuning state: process-wide Set* switches
+# are frozen to the three deprecated shims. Run configuration belongs in
+# engine.Config / the per-layer option structs, not globals.
+echo "== no new package-level Set* tuning switches"
+setters=$(grep -rnE '^func Set[A-Z]' internal cmd --include='*.go' \
+	| grep -v '_test\.go' \
+	| grep -v 'internal/matrix/workers\.go' \
+	| grep -v 'internal/sim/sparse\.go' \
+	| grep -v 'internal/extract/cache\.go' || true)
+if [ -n "$setters" ]; then
+	echo "new package-level setter(s) found (use engine.Config instead):" >&2
+	echo "$setters" >&2
+	exit 1
+fi
 
 echo "CI OK"
