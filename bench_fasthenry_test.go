@@ -5,12 +5,12 @@ import (
 	"fmt"
 	"math/cmplx"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
 	"inductance101/internal/fasthenry"
 	"inductance101/internal/geom"
-	"inductance101/internal/matrix"
 )
 
 // benchLoopBus builds the loop-extraction benchmark structure: a signal
@@ -47,111 +47,177 @@ func benchLoopBus(nWires int) (*geom.Layout, []int, fasthenry.Port, [][2]string)
 	return lay, segs, fasthenry.Port{Plus: "s0", Minus: "g1_0"}, shorts
 }
 
-// TestBenchFasthenrySnapshot times dense vs matrix-free iterative
-// frequency sweeps of the FastHenry-style loop extractor at three
-// filament counts and writes BENCH_fasthenry.json. Each iterative
-// sweep is also checked against the dense oracle pointwise, so the
-// bench doubles as a large-scale equivalence test. Only runs when
-// BENCH_FASTHENRY=1; regenerate with scripts/bench_fasthenry.sh.
+// benchRow is one (size, solver mode, worker count) measurement.
+type benchRow struct {
+	Wires        int     `json:"wires"`
+	Filaments    int     `json:"filaments"`
+	Mode         string  `json:"mode"`
+	Workers      int     `json:"workers"`
+	SweepPoints  int     `json:"sweep_points"`
+	BuildSec     float64 `json:"operator_build_sec"`
+	SweepSec     float64 `json:"sweep_sec"`
+	TotalSec     float64 `json:"total_sec"`
+	GMRESIters   []int   `json:"gmres_iters_per_point,omitempty"`
+	MaxRelErr    float64 `json:"max_rel_err_vs_dense,omitempty"`
+	FarBlocks    int     `json:"far_blocks,omitempty"`
+	MaxRank      int     `json:"max_rank,omitempty"`
+	CompressionX float64 `json:"storage_compression_x,omitempty"`
+	KernelFrac   float64 `json:"kernel_eval_fraction,omitempty"`
+	NearEvals    int     `json:"near_kernel_evals,omitempty"`
+	FarEvals     int     `json:"far_kernel_evals,omitempty"`
+}
+
+// TestBenchFasthenrySnapshot times the FastHenry-style loop extractor
+// across solver modes (dense complex LU, flat-ACA GMRES, nested-basis
+// H² GMRES) and worker counts, and writes BENCH_fasthenry.json. Where
+// the dense oracle is feasible (<= 2048 filaments) every compressed
+// sweep is checked against it pointwise, so the bench doubles as a
+// large-scale equivalence test; at 16k filaments flat ACA and nested
+// cross-check each other and nested must win on wall clock; the
+// largest size (~102k filaments) runs nested-only — the regime the
+// O(N log N) operator exists for. Only runs when BENCH_FASTHENRY=1;
+// regenerate with scripts/bench_fasthenry.sh.
 func TestBenchFasthenrySnapshot(t *testing.T) {
 	if os.Getenv("BENCH_FASTHENRY") == "" {
 		t.Skip("set BENCH_FASTHENRY=1 to write BENCH_fasthenry.json")
 	}
 
-	type sizeResult struct {
-		Wires           int     `json:"wires"`
-		Filaments       int     `json:"filaments"`
-		SweepPoints     int     `json:"sweep_points"`
-		DenseSec        float64 `json:"dense_sweep_sec"`
-		IterativeSec    float64 `json:"iterative_sweep_sec"`
-		Speedup         float64 `json:"speedup"`
-		GMRESIters      []int   `json:"gmres_iters_per_point"`
-		MaxRelErr       float64 `json:"max_rel_err_vs_dense"`
-		ACAFarBlocks    int     `json:"aca_far_blocks"`
-		ACAMaxRank      int     `json:"aca_max_rank"`
-		CompressionX    float64 `json:"storage_compression_x"`
-		KernelFrac      float64 `json:"kernel_eval_fraction"`
-		OperatorBuildMs float64 `json:"operator_build_ms"`
+	cpus := runtime.NumCPU()
+	workerCols := []int{1}
+	if cpus > 1 {
+		workerCols = append(workerCols, cpus)
 	}
-	var results []sizeResult
+	opts := fasthenry.Options{NW: 4, NT: 2} // 8 filaments per wire
 
-	freqs := fasthenry.LogSpace(1e8, 2e10, 6)
-	opts := fasthenry.Options{NW: 4, NT: 2}
-	workers := matrix.Workers()
+	sizes := []struct {
+		wires  int
+		dense  bool                  // dense oracle feasible
+		modes  []fasthenry.SolveMode // compressed modes to measure
+		points int
+		fstop  float64
+	}{
+		{36, true, []fasthenry.SolveMode{fasthenry.ModeIterative, fasthenry.ModeNested}, 6, 2e10},
+		{98, true, []fasthenry.SolveMode{fasthenry.ModeIterative, fasthenry.ModeNested}, 6, 2e10},
+		{256, true, []fasthenry.SolveMode{fasthenry.ModeIterative, fasthenry.ModeNested}, 6, 2e10},
+		{2048, false, []fasthenry.SolveMode{fasthenry.ModeIterative, fasthenry.ModeNested}, 3, 2e10},
+		{12800, false, []fasthenry.SolveMode{fasthenry.ModeNested}, 2, 1e9},
+	}
 
-	for _, nWires := range []int{36, 98, 256} {
-		lay, segs, port, shorts := benchLoopBus(nWires)
-		mk := func(mode fasthenry.SolveMode) *fasthenry.Solver {
-			s, err := fasthenry.NewSolver(lay, segs, port, shorts, 2e10, opts)
+	var rows []benchRow
+	for _, sz := range sizes {
+		lay, segs, port, shorts := benchLoopBus(sz.wires)
+		freqs := fasthenry.LogSpace(1e8, sz.fstop, sz.points)
+		mk := func(mode fasthenry.SolveMode, w int) *fasthenry.Solver {
+			o := opts
+			o.Mode = mode
+			o.Workers = w
+			s, err := fasthenry.NewSolver(lay, segs, port, shorts, sz.fstop, o)
 			if err != nil {
 				t.Fatal(err)
 			}
-			s.SetSolveMode(mode)
 			return s
 		}
-
-		dense := mk(fasthenry.ModeDense)
-		t0 := time.Now()
-		densePts, err := dense.SweepParallel(freqs, workers)
-		if err != nil {
-			t.Fatal(err)
+		run := func(mode fasthenry.SolveMode, w int) (benchRow, []fasthenry.Point) {
+			s := mk(mode, w)
+			t0 := time.Now()
+			st := s.OperatorStats() // forces the lazy operator build
+			buildSec := time.Since(t0).Seconds()
+			t1 := time.Now()
+			pts, err := s.SweepParallel(freqs, w)
+			if err != nil {
+				t.Fatalf("%v sweep at %d wires: %v", mode, sz.wires, err)
+			}
+			sweepSec := time.Since(t1).Seconds()
+			row := benchRow{
+				Wires: sz.wires, Filaments: s.NumFilaments(),
+				Mode: mode.String(), Workers: w, SweepPoints: len(freqs),
+				BuildSec: buildSec, SweepSec: sweepSec, TotalSec: buildSec + sweepSec,
+			}
+			if mode != fasthenry.ModeDense {
+				row.FarBlocks = st.FarBlocks
+				row.MaxRank = st.MaxRank
+				row.CompressionX = st.CompressionRatio()
+				row.KernelFrac = float64(st.KernelEvals) / float64(st.DenseKernelEntries)
+				row.NearEvals = st.NearKernelEvals
+				row.FarEvals = st.FarKernelEvals
+				for _, p := range pts {
+					row.GMRESIters = append(row.GMRESIters, p.Iters)
+				}
+			}
+			return row, pts
 		}
-		denseSec := time.Since(t0).Seconds()
-
-		iter := mk(fasthenry.ModeIterative)
-		tb := time.Now()
-		opStats := iter.OperatorStats()
-		buildMs := float64(time.Since(tb).Microseconds()) / 1e3
-		t1 := time.Now()
-		iterPts, err := iter.SweepParallel(freqs, workers)
-		if err != nil {
-			t.Fatal(err)
+		maxRelErr := func(got, ref []fasthenry.Point) float64 {
+			worst := 0.0
+			for i := range got {
+				if d := cmplx.Abs(got[i].Z-ref[i].Z) / cmplx.Abs(ref[i].Z); d > worst {
+					worst = d
+				}
+			}
+			return worst
 		}
-		iterSec := time.Since(t1).Seconds()
 
-		res := sizeResult{
-			Wires:           nWires,
-			Filaments:       dense.NumFilaments(),
-			SweepPoints:     len(freqs),
-			DenseSec:        denseSec,
-			IterativeSec:    iterSec,
-			Speedup:         denseSec / iterSec,
-			ACAFarBlocks:    opStats.FarBlocks,
-			ACAMaxRank:      opStats.MaxRank,
-			CompressionX:    opStats.CompressionRatio(),
-			KernelFrac:      float64(opStats.KernelEvals) / float64(opStats.DenseKernelEntries),
-			OperatorBuildMs: buildMs,
-		}
-		for i := range iterPts {
-			res.GMRESIters = append(res.GMRESIters, iterPts[i].Iters)
-			d := cmplx.Abs(iterPts[i].Z-densePts[i].Z) / cmplx.Abs(densePts[i].Z)
-			if d > res.MaxRelErr {
-				res.MaxRelErr = d
+		// perMode[mode] holds the workers=1 sweep for cross-checks (the
+		// operators are bit-identical at any worker count).
+		perMode := map[string][]fasthenry.Point{}
+		for _, w := range workerCols {
+			var densePts []fasthenry.Point
+			if sz.dense {
+				row, pts := run(fasthenry.ModeDense, w)
+				densePts = pts
+				rows = append(rows, row)
+				perMode[row.Mode] = pts
+				t.Logf("%5d wires %6d fils dense    w=%d: %.2fs", sz.wires, row.Filaments, w, row.TotalSec)
+			}
+			for _, mode := range sz.modes {
+				row, pts := run(mode, w)
+				if sz.dense {
+					row.MaxRelErr = maxRelErr(pts, densePts)
+					if row.MaxRelErr > 1e-6 {
+						t.Errorf("%d wires %s w=%d: deviates from dense by %.3g (tolerance 1e-6)",
+							sz.wires, row.Mode, w, row.MaxRelErr)
+					}
+				}
+				rows = append(rows, row)
+				perMode[row.Mode] = pts
+				t.Logf("%5d wires %6d fils %-9s w=%d: build %.2fs sweep %.2fs iters %v err %.2g",
+					sz.wires, row.Filaments, row.Mode, w, row.BuildSec, row.SweepSec,
+					row.GMRESIters, row.MaxRelErr)
 			}
 		}
-		if res.MaxRelErr > 1e-6 {
-			t.Errorf("%d filaments: iterative deviates from dense by %.3g (tolerance 1e-6)",
-				res.Filaments, res.MaxRelErr)
+		// At the largest common size the two compressed operators
+		// cross-check each other (no dense oracle) and the nested build
+		// must pay for itself end to end.
+		if !sz.dense && len(sz.modes) == 2 {
+			flat, nested := perMode[fasthenry.ModeIterative.String()], perMode[fasthenry.ModeNested.String()]
+			if d := maxRelErr(nested, flat); d > 1e-6 {
+				t.Errorf("%d wires: nested and flat ACA disagree by %.3g (tolerance 1e-6)", sz.wires, d)
+			}
+			var flatTotal, nestedTotal float64
+			for _, r := range rows {
+				if r.Wires == sz.wires && r.Workers == workerCols[len(workerCols)-1] {
+					switch r.Mode {
+					case fasthenry.ModeIterative.String():
+						flatTotal = r.TotalSec
+					case fasthenry.ModeNested.String():
+						nestedTotal = r.TotalSec
+					}
+				}
+			}
+			if nestedTotal >= flatTotal {
+				t.Errorf("%d wires: nested total %.2fs not below flat ACA total %.2fs",
+					sz.wires, nestedTotal, flatTotal)
+			}
 		}
-		t.Logf("%4d wires, %5d filaments: dense %.2fs, iterative %.2fs (%.1fx), iters %v, err %.2g",
-			nWires, res.Filaments, denseSec, iterSec, res.Speedup, res.GMRESIters, res.MaxRelErr)
-		results = append(results, res)
-	}
-
-	last := results[len(results)-1]
-	if last.Speedup < 5 {
-		t.Errorf("iterative sweep speedup at %d filaments is %.1fx, want >= 5x",
-			last.Filaments, last.Speedup)
 	}
 
 	out, err := json.MarshalIndent(struct {
-		Note    string       `json:"note"`
-		Workers int          `json:"workers"`
-		Sizes   []sizeResult `json:"loop_extraction"`
+		Note string     `json:"note"`
+		CPUs int        `json:"cpus"`
+		Rows []benchRow `json:"loop_extraction"`
 	}{
-		Note:    "FastHenry loop-extraction sweep: dense complex LU vs matrix-free GMRES over the ACA-compressed operator; regenerate with scripts/bench_fasthenry.sh",
-		Workers: workers,
-		Sizes:   results,
+		Note: "FastHenry loop-extraction sweep: dense complex LU vs flat-ACA GMRES vs nested-basis (H2) GMRES, per worker column (columns coincide when cpus=1); compressed modes are checked against the dense oracle where feasible; regenerate with scripts/bench_fasthenry.sh",
+		CPUs: cpus,
+		Rows: rows,
 	}, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -20,13 +20,15 @@ func TestCLIRejectsUnknownEnumFlags(t *testing.T) {
 		{"inductx", []string{"-kernelcache", "maybe", "nonexistent.json"}},
 		{"inductx", []string{"-l", "verbose", "nonexistent.json"}},
 		{"rlsweep", []string{"-solver", "bogus"}},
+		{"rlsweep", []string{"-precond", "ilu"}},
 		{"rlsweep", []string{"-kernelcache", "maybe"}},
 		{"clocksim", []string{"-kernelcache", "sometimes"}},
+		{"clocksim", []string{"-solver", "hierarchical"}},
 		{"gridnoise", []string{"-irsolver", "quantum"}},
 	}
 	for _, tc := range cases {
 		tc := tc
-		t.Run(tc.tool+"/"+tc.args[0], func(t *testing.T) {
+		t.Run(tc.tool+"/"+tc.args[0]+"="+tc.args[1], func(t *testing.T) {
 			t.Parallel()
 			cmd := exec.Command(filepath.Join(dir, tc.tool), tc.args...)
 			var stderr strings.Builder
@@ -55,5 +57,38 @@ func TestCLIRejectsUnknownEnumFlags(t *testing.T) {
 				t.Errorf("%s %v validated the flag only after touching the input: %q", tc.tool, tc.args, msg)
 			}
 		})
+	}
+}
+
+// TestRLSweepNestedSolver runs the builtin structure through the
+// nested-basis path end to end: the flag must be accepted, the CSV must
+// come out well-formed, and the verbose diagnostics must name the
+// nested operator and its rank histogram.
+func TestRLSweepNestedSolver(t *testing.T) {
+	dir := buildTools(t)
+	cmd := exec.Command(filepath.Join(dir, "rlsweep"),
+		"-solver", "nested", "-precond", "sai", "-workers", "2", "-points", "3", "-v")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("rlsweep -solver nested failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 4 || lines[0] != "freq_hz,r_ohm,l_h" {
+		t.Fatalf("unexpected CSV shape:\n%s", stdout.String())
+	}
+	diag := stderr.String()
+	if !strings.Contains(diag, "solver nested") {
+		t.Errorf("-v does not report the nested solve mode:\n%s", diag)
+	}
+	if !strings.Contains(diag, "nested-basis operator") {
+		t.Errorf("-v does not report nested-basis operator stats:\n%s", diag)
+	}
+	if !strings.Contains(diag, "kernel evaluations:") {
+		t.Errorf("-v does not report the near/far kernel-evaluation split:\n%s", diag)
+	}
+	if !strings.Contains(diag, "GMRES iterations") {
+		t.Errorf("-v does not report GMRES iteration counts:\n%s", diag)
 	}
 }

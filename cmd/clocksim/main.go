@@ -6,7 +6,8 @@
 // Usage:
 //
 //	clocksim [-nx 4] [-ny 4] [-pitch 400e-6] [-levels 2] [-tstop 2.5e-9]
-//	         [-strategies] [-waveforms out.csv]
+//	         [-solver auto|dense|iterative|nested] [-strategies]
+//	         [-waveforms out.csv]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"inductance101/internal/core"
 	"inductance101/internal/engine"
+	"inductance101/internal/fasthenry"
 	"inductance101/internal/units"
 )
 
@@ -31,12 +33,18 @@ func main() {
 		wavecsv = flag.String("waveforms", "", "write sink waveforms of each model to this CSV file")
 		workers = flag.Int("workers", 0, "solver/extraction goroutine cap (0 = all cores, 1 = serial)")
 		kcache  = flag.String("kernelcache", "on", "kernel cache: on | off | private (per-run)")
+		solver  = flag.String("solver", "auto", "loop-model branch solve: dense | iterative (flat ACA) | nested (H² bases) | auto")
 	)
 	flag.Parse()
 
 	// Flags translate into the run config up front; a bad enum value
 	// fails before any extraction starts.
 	cfg := engine.Config{Workers: *workers}
+	mode, err := fasthenry.ParseSolveMode(*solver)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.SolveMode = mode
 	switch *kcache {
 	case "on":
 		cfg.Cache = engine.CacheDefault

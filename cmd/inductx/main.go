@@ -6,16 +6,21 @@
 // Usage:
 //
 //	inductx [-l matrix|summary] [-c] [-window 0] [-kernelcache on|off]
-//	        [-solver auto|dense|iterative] [-acatol 1e-8] [-v] layout.json
+//	        [-solver auto|dense|iterative|nested] [-acatol 1e-8]
+//	        [-workers 0] [-v] layout.json
 //	inductx -sample          # print a sample layout document
 //
 // -solver selects the partial-inductance representation: dense builds
 // the full matrix; iterative builds the hierarchically compressed
 // (near-exact + ACA low-rank) operator and reads every reported value
-// through it; auto uses dense below 256 segments. The compressed path
-// requires an unlimited -window (windowing and hierarchical
-// compression are competing sparsification strategies) and cannot
-// export -spice decks, which need the dense matrix.
+// through it; nested builds the O(N log N) nested-basis (H²) operator
+// with shared per-cluster interpolation bases; auto uses dense below
+// 256 segments, flat ACA to 4095, nested beyond. -workers caps the
+// operator-build fan-out (0 = all CPUs; results are bit-identical at
+// any setting). The compressed paths require an unlimited -window
+// (windowing and hierarchical compression are competing sparsification
+// strategies) and cannot export -spice decks, which need the dense
+// matrix.
 package main
 
 import (
@@ -42,15 +47,16 @@ func main() {
 		sample  = flag.Bool("sample", false, "print a sample layout JSON and exit")
 		spice   = flag.String("spice", "", "also write the stamped PEEC netlist as a SPICE deck to this file")
 		kcache  = flag.String("kernelcache", "on", "geometry-keyed kernel cache: on | off (results are bit-identical either way)")
-		solver  = flag.String("solver", "auto", "inductance representation: dense | iterative (compressed operator) | auto (dense below 256 segments)")
-		acatol  = flag.Float64("acatol", 1e-8, "ACA far-block relative tolerance for -solver iterative")
-		verbose = flag.Bool("v", false, "print extraction diagnostics (kernel cache hit/miss counters, operator compression)")
+		solver  = flag.String("solver", "auto", "inductance representation: dense | iterative (flat ACA) | nested (H² bases) | auto (by segment count)")
+		acatol  = flag.Float64("acatol", 1e-8, "far-field relative tolerance for the compressed representations")
+		workers = flag.Int("workers", 0, "worker goroutines for extraction and operator build (0 = all CPUs)")
+		verbose = flag.Bool("v", false, "print extraction diagnostics (kernel cache hit/miss counters, operator compression, rank histograms)")
 	)
 	flag.Parse()
 
 	// Every enum flag is validated before any file is opened or work is
 	// done: a typo fails in milliseconds with a one-line error.
-	cfg := engine.Config{ACATol: *acatol}
+	cfg := engine.Config{ACATol: *acatol, Workers: *workers}
 	switch *kcache {
 	case "on":
 		cfg.Cache = engine.CacheDefault
@@ -60,9 +66,9 @@ func main() {
 		fatal(fmt.Errorf("-kernelcache must be on or off, got %q", *kcache))
 	}
 	switch *solver {
-	case "dense", "iterative", "auto":
+	case "dense", "iterative", "nested", "auto":
 	default:
-		fatal(fmt.Errorf("-solver must be dense, iterative or auto, got %q", *solver))
+		fatal(fmt.Errorf("-solver must be dense, iterative, nested or auto, got %q", *solver))
 	}
 	switch *lMode {
 	case "matrix", "summary", "none":
@@ -94,17 +100,25 @@ func main() {
 
 	// Resolve the inductance representation. autoCompressSegments is
 	// the auto-mode switch point; below it the dense matrix is cheap
-	// and keeps default outputs on the exact path.
-	const autoCompressSegments = 256
-	compressed := false
+	// and keeps default outputs on the exact path. Beyond
+	// autoNestedSegments the flat ACA block inventory itself becomes the
+	// bottleneck and auto switches to the nested-basis operator.
+	const (
+		autoCompressSegments = 256
+		autoNestedSegments   = 4096
+	)
+	compressed, nested := false, false
 	switch *solver {
 	case "iterative":
 		compressed = true
+	case "nested":
+		compressed, nested = true, true
 	case "auto":
 		compressed = len(lay.Segments) >= autoCompressSegments
+		nested = len(lay.Segments) >= autoNestedSegments
 	}
 	if compressed && *window > 0 {
-		fatal(fmt.Errorf("-solver iterative needs an unlimited -window: windowing and hierarchical compression are competing sparsifications"))
+		fatal(fmt.Errorf("the compressed solvers need an unlimited -window: windowing and hierarchical compression are competing sparsifications"))
 	}
 	if compressed && *spice != "" {
 		fatal(fmt.Errorf("-spice needs the dense inductance matrix; use -solver dense"))
@@ -116,10 +130,14 @@ func main() {
 	}
 	opt.SkipInductance = compressed
 	par := extract.Extract(lay, opt)
-	var op *extract.CompressedL
-	if compressed {
+	var op extract.LOperator
+	switch {
+	case nested:
+		op = extract.CompressInductanceH2(lay, par.Segs, opt.GMD,
+			extract.H2Options{Tol: sess.Config().ACATol, Workers: *workers}, sess.CacheRef())
+	case compressed:
 		op = extract.CompressInductance(lay, par.Segs, opt.GMD,
-			extract.ACAOptions{Tol: sess.Config().ACATol}, sess.CacheRef())
+			extract.ACAOptions{Tol: sess.Config().ACATol, Workers: *workers}, sess.CacheRef())
 	}
 	// lAt reads partial inductances through whichever representation
 	// was built; the compressed accessor reconstructs far entries from
@@ -153,9 +171,24 @@ func main() {
 		}
 		if op != nil {
 			os := op.Stats()
-			fmt.Printf("compressed operator: %d dense + %d low-rank blocks, max rank %d, %.1fx storage compression, %d of %d kernels evaluated\n",
-				os.DiagBlocks+os.NearBlocks, os.FarBlocks, os.MaxRank,
+			kind := "flat ACA"
+			if os.Nested {
+				kind = "nested-basis"
+			}
+			fmt.Printf("%s operator: %d dense + %d low-rank blocks, max rank %d, %.1fx storage compression, %d of %d kernels evaluated\n",
+				kind, os.DiagBlocks+os.NearBlocks, os.FarBlocks, os.MaxRank,
 				os.CompressionRatio(), os.KernelEvals, os.DenseKernelEntries)
+			fmt.Printf("kernel evaluations: %d near + %d far\n",
+				os.NearKernelEvals, os.FarKernelEvals)
+			for _, lv := range os.Levels {
+				if os.Nested {
+					fmt.Printf("level %2d: %d bases (max rank %d), %d couplings, rank min/avg/max %d/%.1f/%d\n",
+						lv.Level, lv.Bases, lv.BasisMaxRank, lv.FarBlocks, lv.MinRank, lv.AvgRank, lv.MaxRank)
+				} else {
+					fmt.Printf("level %2d: %d low-rank blocks, rank min/avg/max %d/%.1f/%d\n",
+						lv.Level, lv.FarBlocks, lv.MinRank, lv.AvgRank, lv.MaxRank)
+				}
+			}
 		}
 	}
 

@@ -7,15 +7,22 @@
 //
 //	rlsweep [-length 2e-3] [-width 8e-6] [-pitch 20e-6]
 //	        [-fstart 1e8] [-fstop 2e10] [-points 13] [-fit] [-kernelcache on|off]
-//	        [-solver auto|dense|iterative] [-acatol 1e-8] [-v]
+//	        [-solver auto|dense|iterative|nested] [-precond bjacobi|sai]
+//	        [-acatol 1e-8] [-workers 0] [-v]
 //	rlsweep -layout l.json -plus s0 -minus g0 -short s1=g1 [-short a=b ...]
 //
 // -solver picks the branch-system solve: dense complex LU (the exact
-// oracle), matrix-free GMRES over the hierarchically compressed
-// partial-inductance operator, or auto (dense below 512 filaments).
+// oracle), matrix-free GMRES over the flat ACA-compressed
+// partial-inductance operator (iterative), GMRES over the nested-basis
+// H² operator (nested), or auto (dense below 512 filaments, flat ACA to
+// 8191, nested beyond). -precond selects the GMRES preconditioner:
+// block-Jacobi over the cluster diagonal, or the near-field sparse
+// approximate inverse. -workers caps the operator-build and sweep
+// fan-out (0 = all CPUs; results are bit-identical at any setting).
 // -v prints diagnostics to stderr: the resolved solve mode, kernel
-// cache hit/miss/entry counters, and per-point GMRES iteration counts
-// on the iterative path.
+// cache hit/miss/entry counters, operator compression stats with
+// per-level rank histograms and near/far kernel-evaluation counts on
+// the compressed paths, and per-point GMRES iteration counts.
 package main
 
 import (
@@ -59,9 +66,11 @@ func main() {
 		plus   = flag.String("plus", "", "port plus node (with -layout)")
 		minus  = flag.String("minus", "", "port minus node (with -layout)")
 		kcache = flag.String("kernelcache", "on", "geometry-keyed kernel cache for filament assembly: on | off (bit-identical either way)")
-		solver = flag.String("solver", "auto", "branch solve: dense | iterative | auto (dense below 512 filaments)")
-		acatol = flag.Float64("acatol", 1e-8, "ACA far-block relative tolerance for the iterative solver")
-		verb   = flag.Bool("v", false, "print solve diagnostics to stderr (solve mode, kernel cache counters, GMRES iterations)")
+		solver = flag.String("solver", "auto", "branch solve: dense | iterative (flat ACA) | nested (H² bases) | auto (by filament count)")
+		precnd = flag.String("precond", "bjacobi", "GMRES preconditioner: bjacobi | sai (near-field sparse approximate inverse)")
+		acatol = flag.Float64("acatol", 1e-8, "far-field relative tolerance for the compressed solvers")
+		nwork  = flag.Int("workers", 0, "worker goroutines for operator build and sweep (0 = all CPUs)")
+		verb   = flag.Bool("v", false, "print solve diagnostics to stderr (solve mode, kernel cache counters, operator stats, GMRES iterations)")
 		shorts shortList
 	)
 	flag.Var(&shorts, "short", "short two nodes, nodeA=nodeB (repeatable; with -layout)")
@@ -69,7 +78,7 @@ func main() {
 
 	// Enum flags are validated into the run config before any file is
 	// opened or filament is built: a typo fails in milliseconds.
-	cfg := engine.Config{ACATol: *acatol}
+	cfg := engine.Config{ACATol: *acatol, Workers: *nwork}
 	switch *kcache {
 	case "on":
 		cfg.Cache = engine.CacheDefault
@@ -83,6 +92,11 @@ func main() {
 		fatal(err)
 	}
 	cfg.SolveMode = mode
+	pre, err := fasthenry.ParsePrecond(*precnd)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Precond = pre
 	sess, err := engine.NewChecked(cfg)
 	if err != nil {
 		fatal(err)
@@ -140,10 +154,25 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "rlsweep: kernel cache: off")
 		}
-		if s.SolveModeInUse() == fasthenry.ModeIterative {
+		if m := s.SolveModeInUse(); m == fasthenry.ModeIterative || m == fasthenry.ModeNested {
 			st := s.OperatorStats()
-			fmt.Fprintf(os.Stderr, "rlsweep: compressed operator: %d near + %d low-rank blocks, %.1fx storage compression\n",
-				st.NearBlocks+st.DiagBlocks, st.FarBlocks, st.CompressionRatio())
+			kind := "flat ACA"
+			if st.Nested {
+				kind = "nested-basis"
+			}
+			fmt.Fprintf(os.Stderr, "rlsweep: %s operator: %d near + %d low-rank blocks, %.1fx storage compression\n",
+				kind, st.NearBlocks+st.DiagBlocks, st.FarBlocks, st.CompressionRatio())
+			fmt.Fprintf(os.Stderr, "rlsweep: kernel evaluations: %d near + %d far of %d dense entries\n",
+				st.NearKernelEvals, st.FarKernelEvals, st.DenseKernelEntries)
+			for _, lv := range st.Levels {
+				if st.Nested {
+					fmt.Fprintf(os.Stderr, "rlsweep: level %2d: %d bases (max rank %d), %d couplings, rank min/avg/max %d/%.1f/%d\n",
+						lv.Level, lv.Bases, lv.BasisMaxRank, lv.FarBlocks, lv.MinRank, lv.AvgRank, lv.MaxRank)
+				} else {
+					fmt.Fprintf(os.Stderr, "rlsweep: level %2d: %d low-rank blocks, rank min/avg/max %d/%.1f/%d\n",
+						lv.Level, lv.FarBlocks, lv.MinRank, lv.AvgRank, lv.MaxRank)
+				}
+			}
 			for _, p := range pts {
 				fmt.Fprintf(os.Stderr, "rlsweep: %s: %d GMRES iterations\n",
 					units.FormatSI(p.Freq, "Hz"), p.Iters)

@@ -104,11 +104,16 @@ type Config struct {
 	// switch to the sparse direct solver: > 0 explicit, 0 = process
 	// default, < 0 = dense at every size.
 	SparseThreshold int
-	// SolveMode picks the fasthenry solve path (auto/dense/iterative).
+	// SolveMode picks the fasthenry solve path
+	// (auto/dense/iterative/nested).
 	SolveMode fasthenry.SolveMode
-	// ACATol is the relative tolerance of ACA-compressed far-field
-	// blocks (0 = the extract/fasthenry default, 1e-8).
+	// ACATol is the relative tolerance of the compressed far field —
+	// ACA factors or nested interpolation bases (0 = the
+	// extract/fasthenry default, 1e-8).
 	ACATol float64
+	// Precond selects the iterative paths' preconditioner
+	// (block-Jacobi, or the near-field sparse approximate inverse).
+	Precond fasthenry.Precond
 	// Cache is the kernel-cache policy.
 	Cache CachePolicy
 	// Sparsification selects the §4 strategy for PEEC flows.
@@ -133,9 +138,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: unknown cache policy %d", int(c.Cache))
 	}
 	switch c.SolveMode {
-	case fasthenry.ModeAuto, fasthenry.ModeDense, fasthenry.ModeIterative:
+	case fasthenry.ModeAuto, fasthenry.ModeDense, fasthenry.ModeIterative, fasthenry.ModeNested:
 	default:
 		return fmt.Errorf("engine: unknown solve mode %d", int(c.SolveMode))
+	}
+	switch c.Precond {
+	case fasthenry.PrecondBlockJacobi, fasthenry.PrecondSAI:
+	default:
+		return fmt.Errorf("engine: unknown preconditioner %d", int(c.Precond))
 	}
 	if c.Sparsification < SparsifyNone || c.Sparsification > SparsifyKMatrix {
 		return fmt.Errorf("engine: unknown sparsification %d", int(c.Sparsification))
@@ -211,12 +221,13 @@ func (s *Session) ExtractOptions() extract.Options {
 }
 
 // SolverOptions mints the base fasthenry option set (solve mode, ACA
-// tolerance, cache, workers); callers fill the discretization fields
-// (NW/NT/MaxPerSide/Rho) per extraction.
+// tolerance, preconditioner, cache, workers); callers fill the
+// discretization fields (NW/NT/MaxPerSide/Rho) per extraction.
 func (s *Session) SolverOptions() fasthenry.Options {
 	return fasthenry.Options{
 		Mode:    s.cfg.SolveMode,
 		ACATol:  s.cfg.ACATol,
+		Precond: s.cfg.Precond,
 		Cache:   s.cache,
 		Workers: s.cfg.Workers,
 	}

@@ -16,7 +16,8 @@ func TestZeroConfigInheritsDefaults(t *testing.T) {
 		t.Errorf("zero config minted non-inheriting policy %+v", pol)
 	}
 	opt := s.SolverOptions()
-	if opt.Mode != fasthenry.ModeAuto || opt.ACATol != 0 || opt.Workers != 0 {
+	if opt.Mode != fasthenry.ModeAuto || opt.ACATol != 0 || opt.Workers != 0 ||
+		opt.Precond != fasthenry.PrecondBlockJacobi {
 		t.Errorf("zero config minted non-inheriting solver options %+v", opt)
 	}
 	eo := s.ExtractOptions()
@@ -31,6 +32,7 @@ func TestConfigValidate(t *testing.T) {
 		{MOROrder: -2},
 		{Cache: CachePolicy(99)},
 		{SolveMode: fasthenry.SolveMode(42)},
+		{Precond: fasthenry.Precond(7)},
 		{Sparsification: Sparsification(-1)},
 		{Sparsification: SparsifyKMatrix + 1},
 	}
@@ -44,6 +46,16 @@ func TestConfigValidate(t *testing.T) {
 	}
 	if err := (Config{}).Validate(); err != nil {
 		t.Errorf("zero config rejected: %v", err)
+	}
+	good := []Config{
+		{SolveMode: fasthenry.ModeNested},
+		{Precond: fasthenry.PrecondSAI},
+		{SolveMode: fasthenry.ModeNested, Precond: fasthenry.PrecondSAI},
+	}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate rejected good config %+v: %v", cfg, err)
+		}
 	}
 }
 

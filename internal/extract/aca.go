@@ -2,8 +2,11 @@ package extract
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"inductance101/internal/geom"
+	"inductance101/internal/matrix"
 )
 
 // Hierarchically compressed partial-inductance operator.
@@ -16,7 +19,7 @@ import (
 // kernel between well-separated parallel conductors varies slowly with
 // their relative placement, so the interaction block between two
 // distant clusters is numerically low-rank. This file implements the
-// standard hierarchical-matrix recipe over a geometric cluster tree
+// flat hierarchical-matrix recipe over a geometric cluster tree
 // (geom.Index.ClusterTree):
 //
 //   - near blocks (clusters that touch or overlap) are stored dense,
@@ -32,7 +35,48 @@ import (
 //
 // A matvec then costs the sum of the near-block areas plus Σ k(m+n)
 // over far blocks — near-linear in n on regular layouts — which is what
-// makes matrix-free GMRES extraction (internal/fasthenry) scale.
+// makes matrix-free GMRES extraction (internal/fasthenry) scale. Each
+// far block's factors still grow with the block's side length, though,
+// so both storage and build flatten at ~10⁴ elements; h2.go upgrades
+// the same partition to nested bases for the 10⁵ regime.
+//
+// Construction is two-phase so it parallelizes over the cluster tree:
+// a serial geometric partition lists the diagonal, near and admissible
+// blocks (no kernel evaluations), then workers claim blocks from the
+// lists and fill them concurrently through the shared lock-striped
+// kernel cache. Far blocks whose ACA hits the break-even rank cap are
+// re-partitioned into their children between waves. Every block's
+// content depends only on its own index lists, and blocks are stored in
+// partition order, so the operator is bit-identical at any worker
+// count.
+
+// LOperator is the read interface shared by the compressed
+// partial-inductance operators (the flat-ACA CompressedL and the
+// nested-basis H2L): everything internal/fasthenry and the CLIs need
+// to solve through, precondition, and inspect a compressed L without
+// knowing its representation. Implementations are immutable after
+// construction and safe for concurrent use.
+type LOperator interface {
+	// Dim returns the operator dimension.
+	Dim() int
+	// Stats returns the compression summary.
+	Stats() CompressStats
+	// Diag returns the exact diagonal entry L[i][i].
+	Diag(i int) float64
+	// DiagBlocks returns the dense diagonal leaf blocks — the basis of
+	// the block-Jacobi preconditioner.
+	DiagBlocks() []DiagBlock
+	// ApplyTo computes dst = L*x over real vectors (no aliasing).
+	ApplyTo(dst, x []float64)
+	// ApplyCTo computes dst = L*x over complex vectors (no aliasing).
+	ApplyCTo(dst, x []complex128)
+	// ApplyNearCTo computes dst = N*x where N holds only the exact
+	// off-diagonal near-field blocks — the sparse pattern the
+	// approximate-inverse preconditioner corrects over.
+	ApplyNearCTo(dst, x []complex128)
+	// EachUpper visits every strictly-upper-triangle entry once.
+	EachUpper(fn func(i, j int, v float64))
+}
 
 // HElement describes one current-carrying element (a conductor bar or a
 // skin-effect filament) for the compressed operator: its routing
@@ -52,36 +96,39 @@ type HElement struct {
 type ElemTree struct {
 	Elems       []int
 	Left, Right *ElemTree
+	// Level is the depth below the root (roots are level 0).
+	Level int
 }
 
 // ElemTreesFromClusters converts segment cluster trees into element
 // trees: each segment node's element list is the concatenation of
-// elemsOf(seg) over its segments, preserving tree shape and order.
+// elemsOf(seg) over its segments, preserving tree shape, order and
+// levels.
 func ElemTreesFromClusters(roots []*geom.ClusterNode, elemsOf func(seg int) []int) []*ElemTree {
 	out := make([]*ElemTree, 0, len(roots))
 	for _, r := range roots {
-		out = append(out, elemTreeFrom(r, elemsOf))
+		out = append(out, elemTreeFrom(r, elemsOf, 0))
 	}
 	return out
 }
 
-func elemTreeFrom(n *geom.ClusterNode, elemsOf func(seg int) []int) *ElemTree {
-	t := &ElemTree{}
+func elemTreeFrom(n *geom.ClusterNode, elemsOf func(seg int) []int, level int) *ElemTree {
+	t := &ElemTree{Level: level}
 	if n.IsLeaf() {
 		for _, si := range n.Segs {
 			t.Elems = append(t.Elems, elemsOf(si)...)
 		}
 		return t
 	}
-	t.Left = elemTreeFrom(n.Left, elemsOf)
-	t.Right = elemTreeFrom(n.Right, elemsOf)
+	t.Left = elemTreeFrom(n.Left, elemsOf, level+1)
+	t.Right = elemTreeFrom(n.Right, elemsOf, level+1)
 	t.Elems = make([]int, 0, len(t.Left.Elems)+len(t.Right.Elems))
 	t.Elems = append(t.Elems, t.Left.Elems...)
 	t.Elems = append(t.Elems, t.Right.Elems...)
 	return t
 }
 
-// ACAOptions controls the hierarchical compression.
+// ACAOptions controls the flat hierarchical compression.
 type ACAOptions struct {
 	// Tol is the relative Frobenius-norm tolerance of each low-rank
 	// block: ACA stops adding rank-one terms once the latest term's
@@ -99,6 +146,10 @@ type ACAOptions struct {
 	// break-even rank m·n/(2(m+n)) beyond which the factors would cost
 	// more than the dense block.
 	MaxRank int
+	// Workers caps the goroutines filling blocks during construction.
+	// 0 = process default (matrix.Workers), 1 = fully serial. The
+	// operator is bit-identical at every worker count.
+	Workers int
 }
 
 func (o ACAOptions) tol() float64 {
@@ -129,6 +180,25 @@ type lowRankBlock struct {
 	rows, cols []int
 	u, v       []float64
 	k          int
+	level      int // cluster-tree depth the block was created at
+}
+
+// LevelStats is one cluster-tree depth's compression summary: how many
+// low-rank blocks (ACA factors or nested-basis couplings) live there
+// and the spread of their ranks, plus — on the nested-basis path — the
+// interpolation bases anchored at that depth. The per-level rank
+// histogram is how compression quality vs depth is inspected without a
+// debugger (rlsweep -v / inductx -v print it).
+type LevelStats struct {
+	Level     int // depth below the root (0 = coarsest)
+	FarBlocks int // low-rank blocks anchored at this depth
+	MinRank   int
+	MaxRank   int
+	AvgRank   float64
+	// Bases and BasisMaxRank describe the nested-basis cluster bases at
+	// this depth (zero on the flat-ACA path).
+	Bases        int
+	BasisMaxRank int
 }
 
 // CompressStats summarizes a compressed operator.
@@ -136,13 +206,17 @@ type CompressStats struct {
 	N                  int // elements
 	DiagBlocks         int // dense diagonal leaf blocks
 	NearBlocks         int // dense off-diagonal blocks
-	FarBlocks          int // ACA-compressed blocks
+	FarBlocks          int // low-rank far blocks (ACA factors or couplings)
 	MaxRank            int
 	AvgRank            float64
-	StoredFloats       int // floats held by all blocks
+	StoredFloats       int // floats held by all blocks (and bases)
 	DenseFloats        int // n*n a dense matrix would hold
 	KernelEvals        int // kernel entries sampled during construction
+	NearKernelEvals    int // exact evaluations into diagonal + near blocks
+	FarKernelEvals     int // sampled evaluations into low-rank factors/bases
 	DenseKernelEntries int // n*(n+1)/2 a dense assembly would evaluate
+	Levels             []LevelStats
+	Nested             bool // true for the nested-basis (H²) operator
 }
 
 // CompressionRatio returns dense storage over compressed storage.
@@ -154,9 +228,9 @@ func (s CompressStats) CompressionRatio() float64 {
 }
 
 // CompressedL is a symmetric partial-inductance operator stored as
-// hierarchical blocks. It is immutable after construction and safe for
-// concurrent ApplyTo/ApplyCTo/Diag/EachUpper calls — a frequency sweep
-// shares one operator across all worker goroutines.
+// flat hierarchical blocks. It is immutable after construction and safe
+// for concurrent ApplyTo/ApplyCTo/Diag/EachUpper calls — a frequency
+// sweep shares one operator across all worker goroutines.
 type CompressedL struct {
 	n     int
 	diag  []denseBlock
@@ -169,6 +243,8 @@ type CompressedL struct {
 	elemPos   []int32
 	maxK      int
 }
+
+var _ LOperator = (*CompressedL)(nil)
 
 // Dim returns the operator dimension.
 func (c *CompressedL) Dim() int { return c.n }
@@ -187,8 +263,12 @@ type DiagBlock struct {
 // DiagBlocks returns the diagonal leaf blocks, the basis of the
 // block-Jacobi preconditioner in internal/fasthenry.
 func (c *CompressedL) DiagBlocks() []DiagBlock {
-	out := make([]DiagBlock, len(c.diag))
-	for i, b := range c.diag {
+	return diagBlockViews(c.diag)
+}
+
+func diagBlockViews(diag []denseBlock) []DiagBlock {
+	out := make([]DiagBlock, len(diag))
+	for i, b := range diag {
 		out[i] = DiagBlock{Idx: b.rows, V: b.v}
 	}
 	return out
@@ -201,17 +281,10 @@ func (c *CompressedL) Diag(i int) float64 {
 	return b.v[p*len(b.cols)+p]
 }
 
-// ApplyTo computes dst = L*x over real vectors. dst and x must not
-// alias and have length Dim.
-func (c *CompressedL) ApplyTo(dst, x []float64) {
-	if len(dst) != c.n || len(x) != c.n {
-		panic("extract: CompressedL ApplyTo dimension mismatch")
-	}
-	for i := range dst {
-		dst[i] = 0
-	}
-	for bi := range c.diag {
-		b := &c.diag[bi]
+// applyDiagDense accumulates the symmetric dense diagonal blocks.
+func applyDiagDense(diag []denseBlock, dst, x []float64) {
+	for bi := range diag {
+		b := &diag[bi]
 		nc := len(b.cols)
 		for a, i := range b.rows {
 			row := b.v[a*nc : (a+1)*nc]
@@ -222,8 +295,12 @@ func (c *CompressedL) ApplyTo(dst, x []float64) {
 			dst[i] += s
 		}
 	}
-	for bi := range c.near {
-		b := &c.near[bi]
+}
+
+// applyNearDense accumulates the off-diagonal dense blocks both ways.
+func applyNearDense(near []denseBlock, dst, x []float64) {
+	for bi := range near {
+		b := &near[bi]
 		nc := len(b.cols)
 		for a, i := range b.rows {
 			row := b.v[a*nc : (a+1)*nc]
@@ -239,6 +316,52 @@ func (c *CompressedL) ApplyTo(dst, x []float64) {
 			}
 		}
 	}
+}
+
+func applyDiagDenseC(diag []denseBlock, dst, x []complex128) {
+	for bi := range diag {
+		b := &diag[bi]
+		nc := len(b.cols)
+		for a, i := range b.rows {
+			row := b.v[a*nc : (a+1)*nc]
+			var s complex128
+			for bidx, v := range row {
+				s += complex(v, 0) * x[b.cols[bidx]]
+			}
+			dst[i] += s
+		}
+	}
+}
+
+func applyNearDenseC(near []denseBlock, dst, x []complex128) {
+	for bi := range near {
+		b := &near[bi]
+		nc := len(b.cols)
+		for a, i := range b.rows {
+			row := b.v[a*nc : (a+1)*nc]
+			var s complex128
+			xi := x[i]
+			for bidx, v := range row {
+				cv := complex(v, 0)
+				s += cv * x[b.cols[bidx]]
+				dst[b.cols[bidx]] += cv * xi
+			}
+			dst[i] += s
+		}
+	}
+}
+
+// ApplyTo computes dst = L*x over real vectors. dst and x must not
+// alias and have length Dim.
+func (c *CompressedL) ApplyTo(dst, x []float64) {
+	if len(dst) != c.n || len(x) != c.n {
+		panic("extract: CompressedL ApplyTo dimension mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	applyDiagDense(c.diag, dst, x)
+	applyNearDense(c.near, dst, x)
 	t := make([]float64, c.maxK)
 	for bi := range c.far {
 		b := &c.far[bi]
@@ -287,33 +410,8 @@ func (c *CompressedL) ApplyCTo(dst, x []complex128) {
 	for i := range dst {
 		dst[i] = 0
 	}
-	for bi := range c.diag {
-		b := &c.diag[bi]
-		nc := len(b.cols)
-		for a, i := range b.rows {
-			row := b.v[a*nc : (a+1)*nc]
-			var s complex128
-			for bidx, v := range row {
-				s += complex(v, 0) * x[b.cols[bidx]]
-			}
-			dst[i] += s
-		}
-	}
-	for bi := range c.near {
-		b := &c.near[bi]
-		nc := len(b.cols)
-		for a, i := range b.rows {
-			row := b.v[a*nc : (a+1)*nc]
-			var s complex128
-			xi := x[i]
-			for bidx, v := range row {
-				cv := complex(v, 0)
-				s += cv * x[b.cols[bidx]]
-				dst[b.cols[bidx]] += cv * xi
-			}
-			dst[i] += s
-		}
-	}
+	applyDiagDenseC(c.diag, dst, x)
+	applyNearDenseC(c.near, dst, x)
 	t := make([]complex128, c.maxK)
 	for bi := range c.far {
 		b := &c.far[bi]
@@ -351,34 +449,31 @@ func (c *CompressedL) ApplyCTo(dst, x []complex128) {
 	}
 }
 
+// ApplyNearCTo computes dst = N*x over the exact off-diagonal near
+// blocks only — the sparse near-field pattern the approximate-inverse
+// preconditioner in internal/fasthenry corrects over. dst and x must
+// not alias and have length Dim.
+func (c *CompressedL) ApplyNearCTo(dst, x []complex128) {
+	if len(dst) != c.n || len(x) != c.n {
+		panic("extract: CompressedL ApplyNearCTo dimension mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	applyNearDenseC(c.near, dst, x)
+}
+
 // EachUpper visits every strictly-upper-triangle entry (i < j, value
 // possibly an ACA approximation on far blocks) exactly once, in block
 // order. Cross-direction pairs, which are identically zero, are not
 // visited.
 func (c *CompressedL) EachUpper(fn func(i, j int, v float64)) {
+	eachUpperDense(c.diag, c.near, fn)
 	emit := func(i, j int, v float64) {
 		if i < j {
 			fn(i, j, v)
 		} else {
 			fn(j, i, v)
-		}
-	}
-	for bi := range c.diag {
-		b := &c.diag[bi]
-		nc := len(b.cols)
-		for a := range b.rows {
-			for bidx := a + 1; bidx < nc; bidx++ {
-				emit(b.rows[a], b.cols[bidx], b.v[a*nc+bidx])
-			}
-		}
-	}
-	for bi := range c.near {
-		b := &c.near[bi]
-		nc := len(b.cols)
-		for a, i := range b.rows {
-			for bidx, j := range b.cols {
-				emit(i, j, b.v[a*nc+bidx])
-			}
 		}
 	}
 	for bi := range c.far {
@@ -391,6 +486,36 @@ func (c *CompressedL) EachUpper(fn func(i, j int, v float64)) {
 					s += b.u[k*m+a] * b.v[k*n+j]
 				}
 				emit(i, cj, s)
+			}
+		}
+	}
+}
+
+// eachUpperDense walks the diagonal and near dense blocks shared by
+// both operator representations.
+func eachUpperDense(diag, near []denseBlock, fn func(i, j int, v float64)) {
+	emit := func(i, j int, v float64) {
+		if i < j {
+			fn(i, j, v)
+		} else {
+			fn(j, i, v)
+		}
+	}
+	for bi := range diag {
+		b := &diag[bi]
+		nc := len(b.cols)
+		for a := range b.rows {
+			for bidx := a + 1; bidx < nc; bidx++ {
+				emit(b.rows[a], b.cols[bidx], b.v[a*nc+bidx])
+			}
+		}
+	}
+	for bi := range near {
+		b := &near[bi]
+		nc := len(b.cols)
+		for a, i := range b.rows {
+			for bidx, j := range b.cols {
+				emit(i, j, b.v[a*nc+bidx])
 			}
 		}
 	}
@@ -417,22 +542,12 @@ func gap(aLo, aHi, bLo, bHi float64) float64 {
 	return 0
 }
 
-type compressor struct {
-	elems   []HElement
-	entry   func(i, j int) float64
-	opt     ACAOptions
-	bounds  map[*ElemTree]nodeBounds
-	op      *CompressedL
-	kernels int
-}
-
-func (c *compressor) boundsOf(t *ElemTree) nodeBounds {
-	if b, ok := c.bounds[t]; ok {
-		return b
-	}
+// elemBounds computes the bounding box of the given elements, inflated
+// by their cross-section radii.
+func elemBounds(elems []HElement, idx []int) nodeBounds {
 	var b nodeBounds
-	for i, ei := range t.Elems {
-		e := &c.elems[ei]
+	for i, ei := range idx {
+		e := &elems[ei]
 		if i == 0 {
 			b = nodeBounds{
 				axisLo: e.A0, axisHi: e.A1,
@@ -448,19 +563,16 @@ func (c *compressor) boundsOf(t *ElemTree) nodeBounds {
 		b.zLo = math.Min(b.zLo, e.Z-e.Rad)
 		b.zHi = math.Max(b.zHi, e.Z+e.Rad)
 	}
-	c.bounds[t] = b
 	return b
 }
 
-// admissible reports whether the (a, b) interaction block is smooth
-// enough to compress: the clusters are separated in the cross plane by
-// more than eta times their combined cross extents, or — for collinear
-// clusters — separated along the routing axis by more than eta times
-// their combined axis extents. Either separation bounds the kernel away
-// from its near-field singularity across the whole block.
-func (c *compressor) admissible(a, b *ElemTree) bool {
-	ba, bb := c.boundsOf(a), c.boundsOf(b)
-	eta := c.opt.eta()
+// boundsAdmissible reports whether two bounded clusters are smooth
+// enough to compress: separated in the cross plane by more than eta
+// times their combined cross extents, or — for collinear clusters —
+// separated along the routing axis by more than eta times their
+// combined axis extents. Either separation bounds the kernel away from
+// its near-field singularity across the whole block.
+func boundsAdmissible(ba, bb nodeBounds, eta float64) bool {
 	crossDist := math.Hypot(
 		gap(ba.crossLo, ba.crossHi, bb.crossLo, bb.crossHi),
 		gap(ba.zLo, ba.zHi, bb.zLo, bb.zHi),
@@ -475,25 +587,64 @@ func (c *compressor) admissible(a, b *ElemTree) bool {
 	return false
 }
 
-// CompressL builds the hierarchically compressed operator over elems
-// from the given per-direction cluster trees. entry(i, j) must return
-// the symmetric interaction L[i][j] and be safe to call with i == j;
-// it is evaluated with i <= j only, so kernel-cache keys stay
-// canonical. Trees must partition [0, len(elems)) and each tree must
-// hold elements of a single direction.
+type compressor struct {
+	elems   []HElement
+	entry   func(i, j int) float64
+	opt     ACAOptions
+	bounds  map[*ElemTree]nodeBounds
+	op      *CompressedL
+	near    int64 // kernel entries into diagonal/near blocks (atomic)
+	farEv   int64 // kernel entries sampled by ACA (atomic)
+	workers int
+
+	// Partition output, in deterministic order.
+	diagSpecs []*ElemTree
+	nearSpecs [][2]*ElemTree
+	farCands  []farCand
+}
+
+type farCand struct {
+	a, b  *ElemTree
+	level int
+}
+
+func (c *compressor) boundsOf(t *ElemTree) nodeBounds {
+	if b, ok := c.bounds[t]; ok {
+		return b
+	}
+	b := elemBounds(c.elems, t.Elems)
+	c.bounds[t] = b
+	return b
+}
+
+// admissible reports whether the (a, b) interaction block is smooth
+// enough to compress.
+func (c *compressor) admissible(a, b *ElemTree) bool {
+	return boundsAdmissible(c.boundsOf(a), c.boundsOf(b), c.opt.eta())
+}
+
+// CompressL builds the flat hierarchically compressed operator over
+// elems from the given per-direction cluster trees. entry(i, j) must
+// return the symmetric interaction L[i][j] and be safe to call with
+// i == j; it is evaluated with i <= j only, so kernel-cache keys stay
+// canonical, and it must be safe for concurrent calls (the build fans
+// out over ACAOptions.Workers). Trees must partition [0, len(elems))
+// and each tree must hold elements of a single direction.
 func CompressL(elems []HElement, trees []*ElemTree, entry func(i, j int) float64, opt ACAOptions) *CompressedL {
 	c := &compressor{
-		elems:  elems,
-		entry:  entry,
-		opt:    opt,
-		bounds: make(map[*ElemTree]nodeBounds),
-		op:     &CompressedL{n: len(elems)},
+		elems:   elems,
+		entry:   entry,
+		opt:     opt,
+		bounds:  make(map[*ElemTree]nodeBounds),
+		op:      &CompressedL{n: len(elems)},
+		workers: opt.Workers,
 	}
 	for _, t := range trees {
 		c.visitSelf(t)
 	}
 	// Cross-direction tree pairs couple nothing (zero blocks) and are
 	// skipped entirely; within-direction roots are each a single tree.
+	c.fillBlocks()
 	c.op.elemBlock = make([]int32, len(elems))
 	c.op.elemPos = make([]int32, len(elems))
 	for bi, b := range c.op.diag {
@@ -506,9 +657,12 @@ func CompressL(elems []HElement, trees []*ElemTree, entry func(i, j int) float64
 	return c.op
 }
 
+// visitSelf partitions a tree against itself: leaves become dense
+// diagonal blocks, sibling interactions are partitioned into near and
+// admissible far candidates. Pure geometry — no kernel evaluations.
 func (c *compressor) visitSelf(t *ElemTree) {
 	if t.Left == nil {
-		c.addDiag(t.Elems)
+		c.diagSpecs = append(c.diagSpecs, t)
 		return
 	}
 	c.visitSelf(t.Left)
@@ -521,14 +675,23 @@ func (c *compressor) visitPair(a, b *ElemTree) {
 		return
 	}
 	if c.admissible(a, b) {
-		if c.addFar(a.Elems, b.Elems) {
-			return
+		lvl := a.Level
+		if b.Level > lvl {
+			lvl = b.Level
 		}
+		c.farCands = append(c.farCands, farCand{a: a, b: b, level: lvl})
+		return
 	}
+	c.subdividePair(a, b)
+}
+
+// subdividePair recurses an inadmissible (or ACA-failed) pair one step
+// down, mirroring the classic H-matrix partition.
+func (c *compressor) subdividePair(a, b *ElemTree) {
 	aLeaf, bLeaf := a.Left == nil, b.Left == nil
 	switch {
 	case aLeaf && bLeaf:
-		c.addNear(a.Elems, b.Elems)
+		c.nearSpecs = append(c.nearSpecs, [2]*ElemTree{a, b})
 	case aLeaf:
 		c.visitPair(a, b.Left)
 		c.visitPair(a, b.Right)
@@ -544,53 +707,130 @@ func (c *compressor) visitPair(a, b *ElemTree) {
 	}
 }
 
-// entryAt evaluates the symmetric kernel with canonical argument order.
-func (c *compressor) entryAt(i, j int) float64 {
-	c.kernels++
+// fillBlocks evaluates the partitioned blocks in parallel waves: all
+// diagonal/near blocks plus the current far candidates are filled
+// concurrently; far candidates whose ACA fails are re-partitioned and
+// their replacement blocks filled in the next wave. Block content
+// depends only on its own index lists and blocks land in partition
+// order, so the result is identical at every worker count.
+func (c *compressor) fillBlocks() {
+	for wave := 0; len(c.farCands) > 0 || wave == 0; wave++ {
+		cands := c.farCands
+		c.farCands = nil
+		type farResult struct {
+			u, v []float64
+			k    int
+			ok   bool
+		}
+		results := make([]farResult, len(cands))
+		parallelItems(c.workers, len(cands), func(i int) {
+			u, v, k, ok := c.aca(cands[i].a.Elems, cands[i].b.Elems)
+			results[i] = farResult{u: u, v: v, k: k, ok: ok}
+		})
+		for i, r := range results {
+			if r.ok {
+				c.op.far = append(c.op.far, lowRankBlock{
+					rows: cands[i].a.Elems, cols: cands[i].b.Elems,
+					u: r.u, v: r.v, k: r.k, level: cands[i].level,
+				})
+				if r.k > c.op.maxK {
+					c.op.maxK = r.k
+				}
+				continue
+			}
+			// The block refused to converge within the break-even rank:
+			// subdivide (or store dense at the leaves) next wave.
+			c.subdividePair(cands[i].a, cands[i].b)
+		}
+	}
+	// All dense blocks are known now; fill them concurrently.
+	c.op.diag = make([]denseBlock, len(c.diagSpecs))
+	parallelItems(c.workers, len(c.diagSpecs), func(i int) {
+		c.op.diag[i] = c.buildDiag(c.diagSpecs[i].Elems)
+	})
+	c.op.near = make([]denseBlock, len(c.nearSpecs))
+	parallelItems(c.workers, len(c.nearSpecs), func(i int) {
+		c.op.near[i] = c.buildNear(c.nearSpecs[i][0].Elems, c.nearSpecs[i][1].Elems)
+	})
+}
+
+// parallelItems runs fn(0..n-1) across workers goroutines with an
+// atomic work counter (item costs vary wildly — top-level far blocks
+// dominate — so fine-grained stealing balances best). workers <= 0
+// means the process default; 1 runs inline.
+func parallelItems(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = matrix.Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// entryNear evaluates the symmetric kernel into a dense block with
+// canonical argument order.
+func (c *compressor) entryNear(i, j int) float64 {
+	atomic.AddInt64(&c.near, 1)
 	if i <= j {
 		return c.entry(i, j)
 	}
 	return c.entry(j, i)
 }
 
-func (c *compressor) addDiag(idx []int) {
+// entryFar evaluates the symmetric kernel as an ACA sample.
+func (c *compressor) entryFar(i, j int) float64 {
+	atomic.AddInt64(&c.farEv, 1)
+	if i <= j {
+		return c.entry(i, j)
+	}
+	return c.entry(j, i)
+}
+
+func (c *compressor) buildDiag(idx []int) denseBlock {
 	n := len(idx)
 	v := make([]float64, n*n)
 	for a := 0; a < n; a++ {
-		v[a*n+a] = c.entryAt(idx[a], idx[a])
+		v[a*n+a] = c.entryNear(idx[a], idx[a])
 		for b := a + 1; b < n; b++ {
-			e := c.entryAt(idx[a], idx[b])
+			e := c.entryNear(idx[a], idx[b])
 			v[a*n+b] = e
 			v[b*n+a] = e
 		}
 	}
-	c.op.diag = append(c.op.diag, denseBlock{rows: idx, cols: idx, v: v})
+	return denseBlock{rows: idx, cols: idx, v: v}
 }
 
-func (c *compressor) addNear(rows, cols []int) {
+func (c *compressor) buildNear(rows, cols []int) denseBlock {
 	m, n := len(rows), len(cols)
 	v := make([]float64, m*n)
 	for a, i := range rows {
 		for b, j := range cols {
-			v[a*n+b] = c.entryAt(i, j)
+			v[a*n+b] = c.entryNear(i, j)
 		}
 	}
-	c.op.near = append(c.op.near, denseBlock{rows: rows, cols: cols, v: v})
-}
-
-// addFar attempts ACA compression of the (rows, cols) block; it reports
-// false when the block refuses to converge within the break-even rank,
-// in which case the caller subdivides or stores it dense.
-func (c *compressor) addFar(rows, cols []int) bool {
-	u, v, k, ok := c.aca(rows, cols)
-	if !ok {
-		return false
-	}
-	c.op.far = append(c.op.far, lowRankBlock{rows: rows, cols: cols, u: u, v: v, k: k})
-	if k > c.op.maxK {
-		c.op.maxK = k
-	}
-	return true
+	return denseBlock{rows: rows, cols: cols, v: v}
 }
 
 // aca runs partially pivoted adaptive cross approximation on the block
@@ -617,7 +857,7 @@ func (c *compressor) aca(rows, cols []int) (u, v []float64, rank int, ok bool) {
 		// Residual row i.
 		r := make([]float64, n)
 		for j := 0; j < n; j++ {
-			e := c.entryAt(rows[i], cols[j])
+			e := c.entryFar(rows[i], cols[j])
 			for k := 0; k < rank; k++ {
 				e -= u[k*m+i] * v[k*n+j]
 			}
@@ -656,7 +896,7 @@ func (c *compressor) aca(rows, cols []int) (u, v []float64, rank int, ok bool) {
 		// Residual column jp.
 		cv := make([]float64, m)
 		for a := 0; a < m; a++ {
-			e := c.entryAt(rows[a], cols[jp])
+			e := c.entryFar(rows[a], cols[jp])
 			for k := 0; k < rank; k++ {
 				e -= u[k*m+a] * v[k*n+jp]
 			}
@@ -721,19 +961,54 @@ func (c *compressor) finishStats() {
 		st.StoredFloats += len(b.v)
 	}
 	ranks := 0
+	byLevel := make(map[int]*LevelStats)
 	for _, b := range c.op.far {
 		st.StoredFloats += len(b.u) + len(b.v)
 		ranks += b.k
 		if b.k > st.MaxRank {
 			st.MaxRank = b.k
 		}
+		ls := byLevel[b.level]
+		if ls == nil {
+			ls = &LevelStats{Level: b.level, MinRank: b.k}
+			byLevel[b.level] = ls
+		}
+		ls.FarBlocks++
+		if b.k < ls.MinRank {
+			ls.MinRank = b.k
+		}
+		if b.k > ls.MaxRank {
+			ls.MaxRank = b.k
+		}
+		ls.AvgRank += float64(b.k)
 	}
 	if len(c.op.far) > 0 {
 		st.AvgRank = float64(ranks) / float64(len(c.op.far))
 	}
+	st.Levels = sortedLevels(byLevel)
 	st.DenseFloats = c.op.n * c.op.n
-	st.KernelEvals = c.kernels
+	st.NearKernelEvals = int(c.near)
+	st.FarKernelEvals = int(c.farEv)
+	st.KernelEvals = st.NearKernelEvals + st.FarKernelEvals
 	st.DenseKernelEntries = c.op.n * (c.op.n + 1) / 2
+}
+
+// sortedLevels orders the per-level stats by depth and finalizes the
+// rank averages (accumulated as sums).
+func sortedLevels(byLevel map[int]*LevelStats) []LevelStats {
+	out := make([]LevelStats, 0, len(byLevel))
+	for _, ls := range byLevel {
+		if ls.FarBlocks > 0 {
+			ls.AvgRank /= float64(ls.FarBlocks)
+		}
+		out = append(out, *ls)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Level < out[j-1].Level; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
 
 // CompressInductance builds the compressed partial-inductance operator
@@ -742,6 +1017,14 @@ func (c *compressor) finishStats() {
 // cache (zero = process default) — as InductanceMatrix with an
 // unlimited window. Position k of the operator corresponds to segs[k].
 func CompressInductance(l *geom.Layout, segs []int, gmd GMDOptions, opt ACAOptions, cache CacheRef) *CompressedL {
+	elems, trees, entry := segmentOperatorInputs(l, segs, gmd, cache, opt.Workers)
+	return CompressL(elems, trees, entry, opt)
+}
+
+// segmentOperatorInputs prepares the shared inputs of the segment-level
+// compressed operators: one HElement per segment, per-direction cluster
+// trees, and the cached self/mutual kernel closure.
+func segmentOperatorInputs(l *geom.Layout, segs []int, gmd GMDOptions, cache CacheRef, workers int) ([]HElement, []*ElemTree, func(i, j int) float64) {
 	kc := cache.Cache()
 	elems := make([]HElement, len(segs))
 	for k, si := range segs {
@@ -774,7 +1057,7 @@ func CompressInductance(l *geom.Layout, segs []int, gmd GMDOptions, opt ACAOptio
 		return kc.MutualBars(pg, a.Width, ta, b.Width, tb, gmd)
 	}
 	idx := geom.NewIndex(l, 0)
-	roots := idx.ClusterTree(segs, 16)
+	roots := idx.ClusterTreeParallel(segs, 16, workers)
 	trees := ElemTreesFromClusters(roots, func(si int) []int { return []int{pos[si]} })
-	return CompressL(elems, trees, entry, opt)
+	return elems, trees, entry
 }

@@ -46,9 +46,14 @@ type Options struct {
 	// Mode selects the solve path (dense oracle, matrix-free GMRES, or
 	// auto by filament count). The zero value is ModeAuto.
 	Mode SolveMode
-	// ACATol is the relative tolerance of the ACA low-rank far-field
-	// blocks on the iterative path (default 1e-8).
+	// ACATol is the relative tolerance of the compressed operator's
+	// low-rank far field on the iterative paths — the ACA factor
+	// tolerance in ModeIterative, the interpolative-basis tolerance in
+	// ModeNested (default 1e-8 for both).
 	ACATol float64
+	// Precond selects the iterative paths' preconditioner. The zero
+	// value is PrecondBlockJacobi.
+	Precond Precond
 	// Cache names the kernel cache the solver's partial-inductance
 	// entries go through. The zero value is the process-default shared
 	// cache (honoring the deprecated extract.SetKernelCache switch);
@@ -102,11 +107,12 @@ type Solver struct {
 
 	mode    SolveMode
 	acaTol  float64
+	precond Precond
 	cache   extract.CacheRef
 	workers int
 
 	opOnce sync.Once
-	op     *extract.CompressedL // compressed partial inductance (lazy)
+	op     extract.LOperator // compressed partial inductance (lazy)
 }
 
 // NewSolver discretizes the given segments of the layout at a reference
@@ -205,7 +211,7 @@ func NewSolver(l *geom.Layout, segs []int, port Port, shorts [][2]string, fRef f
 	return &Solver{
 		layout: l, fils: fils,
 		nNodes: len(nodeID), plus: plus, minus: minus,
-		mode: opt.Mode, acaTol: opt.ACATol,
+		mode: opt.Mode, acaTol: opt.ACATol, precond: opt.Precond,
 		cache: opt.Cache, workers: opt.Workers,
 	}, nil
 }
@@ -303,7 +309,7 @@ func (s *Solver) nodeRow(n int) int {
 // LU oracle, or matrix-free GMRES through the hierarchically
 // compressed partial-inductance operator.
 func (s *Solver) Impedance(f float64) (complex128, error) {
-	if s.effectiveMode() == ModeIterative {
+	if s.iterativeMode() {
 		z, _, err := s.impedanceIterative(f, nil)
 		return z, err
 	}

@@ -33,15 +33,26 @@ const (
 	ModeAuto SolveMode = iota
 	// ModeDense forces the dense complex-LU oracle.
 	ModeDense
-	// ModeIterative forces matrix-free GMRES through the compressed
-	// operator.
+	// ModeIterative forces matrix-free GMRES through the flat-ACA
+	// compressed operator.
 	ModeIterative
+	// ModeNested forces matrix-free GMRES through the nested-basis
+	// (H²) compressed operator — same solves, an operator whose build
+	// and matvec stay near-linear where the flat factors flatten out.
+	ModeNested
 )
 
 // AutoIterativeThreshold is the filament count at which ModeAuto
 // switches from the dense oracle to the iterative path. Below it the
 // dense LU is fast enough that operator construction would dominate.
 const AutoIterativeThreshold = 512
+
+// AutoNestedThreshold is the filament count at which ModeAuto switches
+// from the flat-ACA operator to the nested-basis one. Between the two
+// thresholds the flat build is cheaper (the nested scheme's per-node
+// far-field sampling is a fixed cost); beyond it the pairwise factors
+// grow superlinearly and shared bases win.
+const AutoNestedThreshold = 8192
 
 // String returns the CLI spelling of the mode.
 func (m SolveMode) String() string {
@@ -50,6 +61,8 @@ func (m SolveMode) String() string {
 		return "dense"
 	case ModeIterative:
 		return "iterative"
+	case ModeNested:
+		return "nested"
 	default:
 		return "auto"
 	}
@@ -64,8 +77,48 @@ func ParseSolveMode(s string) (SolveMode, error) {
 		return ModeDense, nil
 	case "iterative":
 		return ModeIterative, nil
+	case "nested":
+		return ModeNested, nil
 	}
-	return ModeAuto, fmt.Errorf("fasthenry: unknown solve mode %q (want dense, iterative or auto)", s)
+	return ModeAuto, fmt.Errorf("fasthenry: unknown solve mode %q (want dense, iterative, nested or auto)", s)
+}
+
+// Precond selects the preconditioner of the iterative solve paths.
+type Precond int
+
+const (
+	// PrecondBlockJacobi is the per-cluster block-Jacobi preconditioner
+	// (the default): the diagonal leaf blocks of R + jωL, complex-LU
+	// factored once per frequency point.
+	PrecondBlockJacobi Precond = iota
+	// PrecondSAI is a sparse approximate inverse over the near-field
+	// pattern: one Neumann correction of block-Jacobi through the exact
+	// off-diagonal near blocks, M⁻¹ = D⁻¹ − D⁻¹ (jω L_near) D⁻¹. It
+	// costs one extra near-field matvec and block solve per
+	// application and cuts GMRES iterations on tightly coupled layouts
+	// where the nearest-neighbour coupling dominates.
+	PrecondSAI
+)
+
+// String returns the CLI spelling of the preconditioner.
+func (p Precond) String() string {
+	switch p {
+	case PrecondSAI:
+		return "sai"
+	default:
+		return "bjacobi"
+	}
+}
+
+// ParsePrecond parses the -precond CLI flag value.
+func ParsePrecond(s string) (Precond, error) {
+	switch s {
+	case "bjacobi":
+		return PrecondBlockJacobi, nil
+	case "sai":
+		return PrecondSAI, nil
+	}
+	return PrecondBlockJacobi, fmt.Errorf("fasthenry: unknown preconditioner %q (want bjacobi or sai)", s)
 }
 
 // SetSolveMode selects the solve path. Call before the first solve:
@@ -95,11 +148,23 @@ func (s *Solver) effectiveMode() SolveMode {
 		return ModeDense
 	case ModeIterative:
 		return ModeIterative
+	case ModeNested:
+		return ModeNested
 	}
-	if len(s.fils) >= AutoIterativeThreshold {
+	switch {
+	case len(s.fils) >= AutoNestedThreshold:
+		return ModeNested
+	case len(s.fils) >= AutoIterativeThreshold:
 		return ModeIterative
 	}
 	return ModeDense
+}
+
+// iterativeMode reports whether the effective mode runs matrix-free
+// GMRES (through either compressed operator).
+func (s *Solver) iterativeMode() bool {
+	m := s.effectiveMode()
+	return m == ModeIterative || m == ModeNested
 }
 
 // gmresTol is the relative residual target of each branch-system
@@ -112,9 +177,12 @@ const gmresTol = 1e-10
 const gmresRestart = 60
 
 // compressedOp builds (once) the hierarchically compressed
-// partial-inductance operator over the solver's filaments. Safe for
-// concurrent callers; sweep workers share the cached operator.
-func (s *Solver) compressedOp() *extract.CompressedL {
+// partial-inductance operator over the solver's filaments — flat ACA
+// factors, or nested bases when the effective mode is ModeNested. Safe
+// for concurrent callers; sweep workers share the cached operator. The
+// construction itself fans out over Options.Workers goroutines through
+// the shared kernel cache.
+func (s *Solver) compressedOp() extract.LOperator {
 	s.opOnce.Do(func() {
 		nf := len(s.fils)
 		elems := make([]extract.HElement, nf)
@@ -147,13 +215,19 @@ func (s *Solver) compressedOp() *extract.CompressedL {
 			leafSegs = 1
 		}
 		idx := geom.NewIndex(s.layout, 0)
-		roots := idx.ClusterTree(segsUsed, leafSegs)
+		roots := idx.ClusterTreeParallel(segsUsed, leafSegs, s.workers)
 		trees := extract.ElemTreesFromClusters(roots, func(si int) []int { return filsOf[si] })
 		tol := s.acaTol
 		if tol <= 0 {
 			tol = 1e-8
 		}
-		s.op = extract.CompressL(elems, trees, s.lpEntry, extract.ACAOptions{Tol: tol})
+		if s.effectiveMode() == ModeNested {
+			s.op = extract.CompressLH2(elems, trees, s.lpEntry,
+				extract.H2Options{Tol: tol, Workers: s.workers})
+		} else {
+			s.op = extract.CompressL(elems, trees, s.lpEntry,
+				extract.ACAOptions{Tol: tol, Workers: s.workers})
+		}
 	})
 	return s.op
 }
@@ -171,7 +245,7 @@ func (s *Solver) OperatorStats() extract.CompressStats {
 type zbOp struct {
 	s       *Solver
 	omega   float64
-	op      *extract.CompressedL
+	op      extract.LOperator
 	scratch []complex128
 }
 
@@ -195,11 +269,18 @@ type blockPrecond struct {
 type precondBlock struct {
 	idx []int
 	lu  *matrix.CLU
+	// dinv is the degraded per-entry fallback when the cluster block is
+	// numerically singular and refuses to factor: the inverse of the
+	// block's diagonal (identity where even that vanishes). A weaker
+	// preconditioner costs GMRES iterations; a NaN-ed sweep costs the
+	// run.
+	dinv []complex128
 }
 
 // buildBlockPrecond factors diag(R) + jω L_cc for every diagonal leaf
-// cluster c of the compressed operator.
-func (s *Solver) buildBlockPrecond(op *extract.CompressedL, omega float64) (*blockPrecond, error) {
+// cluster c of the compressed operator. Blocks that fail to factor
+// fall back to their diagonal inverse instead of failing the solve.
+func (s *Solver) buildBlockPrecond(op extract.LOperator, omega float64) *blockPrecond {
 	diags := op.DiagBlocks()
 	p := &blockPrecond{blocks: make([]precondBlock, 0, len(diags))}
 	for _, d := range diags {
@@ -216,16 +297,31 @@ func (s *Solver) buildBlockPrecond(op *extract.CompressedL, omega float64) (*blo
 		}
 		lu, err := matrix.FactorComplexLU(zb)
 		if err != nil {
-			return nil, fmt.Errorf("fasthenry: singular preconditioner block: %w", err)
+			dinv := make([]complex128, n)
+			for a := 0; a < n; a++ {
+				if v := zb.At(a, a); v != 0 {
+					dinv[a] = 1 / v
+				} else {
+					dinv[a] = 1
+				}
+			}
+			p.blocks = append(p.blocks, precondBlock{idx: d.Idx, dinv: dinv})
+			continue
 		}
 		p.blocks = append(p.blocks, precondBlock{idx: d.Idx, lu: lu})
 	}
-	return p, nil
+	return p
 }
 
 // apply computes dst = M^{-1} src blockwise.
 func (p *blockPrecond) apply(dst, src []complex128) {
 	for _, b := range p.blocks {
+		if b.lu == nil {
+			for a, i := range b.idx {
+				dst[i] = b.dinv[a] * src[i]
+			}
+			continue
+		}
 		rhs := make([]complex128, len(b.idx))
 		for a, i := range b.idx {
 			rhs[a] = src[i]
@@ -242,6 +338,52 @@ func (p *blockPrecond) apply(dst, src []complex128) {
 	}
 }
 
+// saiPrecond is the sparse-approximate-inverse preconditioner: a
+// one-term Neumann correction of block-Jacobi over the operator's
+// exact near-field pattern,
+//
+//	M⁻¹ src = D⁻¹ src − D⁻¹ (jω L_near) D⁻¹ src,
+//
+// with D the factored diagonal blocks and L_near the off-diagonal
+// dense near blocks. It approximates the inverse over the full sparse
+// near pattern (the strongest couplings GMRES otherwise has to iterate
+// away) at one extra near-field matvec and block solve per
+// application.
+type saiPrecond struct {
+	bj     *blockPrecond
+	op     extract.LOperator
+	omega  float64
+	t1, t2 []complex128
+}
+
+func (p *saiPrecond) apply(dst, src []complex128) {
+	p.bj.apply(p.t1, src)
+	p.op.ApplyNearCTo(p.t2, p.t1)
+	jw := complex(0, p.omega)
+	for i := range p.t2 {
+		p.t2[i] *= jw
+	}
+	p.bj.apply(dst, p.t2)
+	for i := range dst {
+		dst[i] = p.t1[i] - dst[i]
+	}
+}
+
+// precondApply builds the configured preconditioner for one frequency
+// point and returns its application closure.
+func (s *Solver) precondApply(op extract.LOperator, omega float64) func(dst, src []complex128) {
+	bj := s.buildBlockPrecond(op, omega)
+	if s.precond != PrecondSAI {
+		return bj.apply
+	}
+	nf := len(s.fils)
+	sp := &saiPrecond{
+		bj: bj, op: op, omega: omega,
+		t1: make([]complex128, nf), t2: make([]complex128, nf),
+	}
+	return sp.apply
+}
+
 // impedanceIterative solves the port impedance at frequency f with
 // restarted, right-preconditioned GMRES through the compressed
 // operator. warm, when non-nil, holds one previous branch-current
@@ -251,10 +393,7 @@ func (p *blockPrecond) apply(dst, src []complex128) {
 func (s *Solver) impedanceIterative(f float64, warm [][]complex128) (complex128, int, error) {
 	op := s.compressedOp()
 	omega := 2 * math.Pi * f
-	pre, err := s.buildBlockPrecond(op, omega)
-	if err != nil {
-		return 0, 0, err
-	}
+	pre := s.precondApply(op, omega)
 	nf := len(s.fils)
 	zop := &zbOp{s: s, omega: omega, op: op, scratch: make([]complex128, nf)}
 	nn := s.nNodes - 1
@@ -266,7 +405,7 @@ func (s *Solver) impedanceIterative(f float64, warm [][]complex128) (complex128,
 		opt := matrix.GMRESOptions{
 			Restart: gmresRestart,
 			Tol:     gmresTol,
-			Precond: pre.apply,
+			Precond: pre,
 		}
 		if warm != nil && warm[k] != nil {
 			opt.X0 = warm[k]

@@ -280,6 +280,7 @@ func TestParseSolveMode(t *testing.T) {
 		{"auto", ModeAuto, true},
 		{"dense", ModeDense, true},
 		{"iterative", ModeIterative, true},
+		{"nested", ModeNested, true},
 		{"gmres", ModeAuto, false},
 		{"", ModeAuto, false},
 	} {

@@ -35,7 +35,7 @@ func (s *Solver) SweepParallel(freqs []float64, workers int) ([]Point, error) {
 	}
 	out := make([]Point, len(fs))
 	errs := make([]error, len(fs))
-	if s.effectiveMode() == ModeIterative {
+	if s.iterativeMode() {
 		s.sweepIterative(fs, workers, out, errs)
 	} else {
 		s.sweepDense(fs, workers, out, errs)

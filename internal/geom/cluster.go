@@ -1,10 +1,15 @@
 package geom
 
-import "sort"
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // ClusterNode is one node of a spatial cluster tree over segments: a
 // binary tree built by recursive median bisection, used by the
-// hierarchically compressed partial-inductance operator in
+// hierarchically compressed partial-inductance operators in
 // internal/extract to group conductors into near (dense) and
 // well-separated (low-rank) interaction blocks.
 type ClusterNode struct {
@@ -13,10 +18,34 @@ type ClusterNode struct {
 	Segs []int
 	// Left and Right are the two halves (nil for leaves).
 	Left, Right *ClusterNode
+	// Level is the node's depth below its root (roots are level 0).
+	// The nested-basis operator groups its bottom-up basis construction
+	// and its per-level rank statistics by this depth.
+	Level int
 }
 
 // IsLeaf reports whether the node has no children.
 func (c *ClusterNode) IsLeaf() bool { return c.Left == nil }
+
+// Extents reports the node's segment bounding box as per-dimension
+// spreads (axis-centre span, cross-coordinate span, z span) over the
+// given layout — the geometry the admissibility condition and the
+// bisection both measure. Empty nodes report zero spreads.
+func (c *ClusterNode) Extents(l *Layout) (axis, cross, z float64) {
+	var lo, hi [3]float64
+	for i, si := range c.Segs {
+		for dim := 0; dim < 3; dim++ {
+			v := clusterCoord(l, dim, si)
+			if i == 0 || v < lo[dim] {
+				lo[dim] = v
+			}
+			if i == 0 || v > hi[dim] {
+				hi[dim] = v
+			}
+		}
+	}
+	return hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]
+}
 
 // ClusterTree builds spatial cluster trees over the given segments, one
 // root per routing direction present (mutual inductance couples only
@@ -31,8 +60,22 @@ func (c *ClusterNode) IsLeaf() bool { return c.Left == nil }
 // was built over; ties are broken by segment index, so the tree is
 // deterministic for a given layout and segment list.
 func (idx *Index) ClusterTree(segs []int, leafSize int) []*ClusterNode {
+	return idx.ClusterTreeParallel(segs, leafSize, 1)
+}
+
+// ClusterTreeParallel is ClusterTree with the recursive bisection fanned
+// out over up to workers goroutines: after each median split the left
+// half is handed to another goroutine when one is free, so tree
+// construction scales with cores on the large filament-level trees the
+// nested-basis operator builds. workers <= 0 uses GOMAXPROCS. The tree
+// is a pure function of (layout, segs, leafSize) — shape, order and
+// levels are bit-identical at every worker count.
+func (idx *Index) ClusterTreeParallel(segs []int, leafSize, workers int) []*ClusterNode {
 	if leafSize < 1 {
 		leafSize = 16
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	l := idx.layout
 	var byDir [2][]int
@@ -43,41 +86,47 @@ func (idx *Index) ClusterTree(segs []int, leafSize int) []*ClusterNode {
 		}
 		byDir[d] = append(byDir[d], si)
 	}
+	// budget holds the spare goroutines; each spawned subtree takes one
+	// token and returns it when done.
+	budget := int64(workers - 1)
 	var roots []*ClusterNode
 	for d := range byDir {
 		if len(byDir[d]) == 0 {
 			continue
 		}
-		roots = append(roots, l.bisect(byDir[d], leafSize))
+		roots = append(roots, l.bisect(byDir[d], leafSize, 0, &budget))
 	}
 	return roots
 }
 
+// clusterCoord is the per-dimension sort key of the bisection: axis
+// centre, cross coordinate, or layer height.
+func clusterCoord(l *Layout, dim int, si int) float64 {
+	s := &l.Segments[si]
+	switch dim {
+	case 0:
+		lo, hi := s.AxisSpan()
+		return (lo + hi) / 2
+	case 1:
+		return s.CrossCoord()
+	default:
+		return l.Z(si)
+	}
+}
+
 // bisect recursively splits segs (all one direction) at the median of
-// the widest coordinate spread.
-func (l *Layout) bisect(segs []int, leafSize int) *ClusterNode {
-	node := &ClusterNode{Segs: segs}
+// the widest coordinate spread, handing the left half to a spare worker
+// goroutine when the budget allows.
+func (l *Layout) bisect(segs []int, leafSize, level int, budget *int64) *ClusterNode {
+	node := &ClusterNode{Segs: segs, Level: level}
 	if len(segs) <= leafSize {
 		return node
 	}
-	// Coordinate spreads: axis-centre, cross coordinate, z.
-	coord := func(dim int, si int) float64 {
-		s := &l.Segments[si]
-		switch dim {
-		case 0:
-			lo, hi := s.AxisSpan()
-			return (lo + hi) / 2
-		case 1:
-			return s.CrossCoord()
-		default:
-			return l.Z(si)
-		}
-	}
 	best, bestSpread := 0, -1.0
 	for dim := 0; dim < 3; dim++ {
-		lo, hi := coord(dim, segs[0]), coord(dim, segs[0])
+		lo, hi := clusterCoord(l, dim, segs[0]), clusterCoord(l, dim, segs[0])
 		for _, si := range segs[1:] {
-			c := coord(dim, si)
+			c := clusterCoord(l, dim, si)
 			if c < lo {
 				lo = c
 			}
@@ -91,7 +140,7 @@ func (l *Layout) bisect(segs []int, leafSize int) *ClusterNode {
 	}
 	sorted := append([]int(nil), segs...)
 	sort.Slice(sorted, func(i, j int) bool {
-		ci, cj := coord(best, sorted[i]), coord(best, sorted[j])
+		ci, cj := clusterCoord(l, best, sorted[i]), clusterCoord(l, best, sorted[j])
 		if ci != cj {
 			return ci < cj
 		}
@@ -99,7 +148,20 @@ func (l *Layout) bisect(segs []int, leafSize int) *ClusterNode {
 	})
 	mid := len(sorted) / 2
 	node.Segs = sorted
-	node.Left = l.bisect(sorted[:mid], leafSize)
-	node.Right = l.bisect(sorted[mid:], leafSize)
+	if atomic.AddInt64(budget, -1) >= 0 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node.Left = l.bisect(sorted[:mid], leafSize, level+1, budget)
+			atomic.AddInt64(budget, 1)
+		}()
+		node.Right = l.bisect(sorted[mid:], leafSize, level+1, budget)
+		wg.Wait()
+	} else {
+		atomic.AddInt64(budget, 1)
+		node.Left = l.bisect(sorted[:mid], leafSize, level+1, budget)
+		node.Right = l.bisect(sorted[mid:], leafSize, level+1, budget)
+	}
 	return node
 }

@@ -1,8 +1,10 @@
 package geom
 
 import (
+	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 )
 
@@ -125,6 +127,113 @@ func TestClusterTreeDeterministic(t *testing.T) {
 		if !eq(a[i], b[i]) {
 			t.Fatal("cluster tree not deterministic")
 		}
+	}
+}
+
+// treesEqual compares shape, order and levels.
+func treesEqual(x, y *ClusterNode) bool {
+	if len(x.Segs) != len(y.Segs) || x.Level != y.Level || x.IsLeaf() != y.IsLeaf() {
+		return false
+	}
+	for i := range x.Segs {
+		if x.Segs[i] != y.Segs[i] {
+			return false
+		}
+	}
+	if x.IsLeaf() {
+		return true
+	}
+	return treesEqual(x.Left, y.Left) && treesEqual(x.Right, y.Right)
+}
+
+// TestClusterTreeParallelDeterministic: the parallel build must produce
+// a tree bit-identical to the serial one at every worker count, with
+// correct levels.
+func TestClusterTreeParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	l, segs := clusterTestLayout(rng, 300)
+	idx := NewIndex(l, 0)
+	serial := idx.ClusterTreeParallel(segs, 5, 1)
+	var checkLevels func(n *ClusterNode, lvl int)
+	checkLevels = func(n *ClusterNode, lvl int) {
+		if n.Level != lvl {
+			t.Fatalf("node level %d, want %d", n.Level, lvl)
+		}
+		if !n.IsLeaf() {
+			checkLevels(n.Left, lvl+1)
+			checkLevels(n.Right, lvl+1)
+		}
+	}
+	for _, r := range serial {
+		checkLevels(r, 0)
+	}
+	for _, workers := range []int{2, 4, 16, 0} {
+		par := idx.ClusterTreeParallel(segs, 5, workers)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d roots, serial %d", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if !treesEqual(par[i], serial[i]) {
+				t.Fatalf("workers=%d: tree differs from serial build", workers)
+			}
+		}
+	}
+}
+
+// TestClusterTreeConcurrentBuilds is the geom race-set target: several
+// goroutines build parallel trees over the same index at once (exactly
+// what concurrent engine sessions do through the operator builds).
+func TestClusterTreeConcurrentBuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	l, segs := clusterTestLayout(rng, 200)
+	idx := NewIndex(l, 0)
+	want := idx.ClusterTreeParallel(segs, 7, 1)
+	results := make([][]*ClusterNode, 4)
+	var wg sync.WaitGroup
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = idx.ClusterTreeParallel(segs, 7, 4)
+		}(g)
+	}
+	wg.Wait()
+	for g, got := range results {
+		if len(got) != len(want) {
+			t.Fatalf("build %d: root count %d, want %d", g, len(got), len(want))
+		}
+		for i := range got {
+			if !treesEqual(got[i], want[i]) {
+				t.Fatalf("build %d: tree differs from serial build", g)
+			}
+		}
+	}
+}
+
+// TestClusterNodeExtents pins the per-dimension spread measurement the
+// admissibility condition relies on.
+func TestClusterNodeExtents(t *testing.T) {
+	l := NewLayout([]Layer{
+		{Name: "M5", Z: 4e-6, Thickness: 1e-6, SheetRho: 0.025, HBelow: 1e-6},
+		{Name: "M6", Z: 6e-6, Thickness: 1.2e-6, SheetRho: 0.018, HBelow: 1e-6},
+	})
+	s0 := l.AddSegment(Segment{Layer: 0, Dir: DirX, X0: 0, Y0: 0,
+		Length: 100e-6, Width: 1e-6, Net: "n", NodeA: "a", NodeB: "b"})
+	s1 := l.AddSegment(Segment{Layer: 1, Dir: DirX, X0: 40e-6, Y0: 30e-6,
+		Length: 100e-6, Width: 1e-6, Net: "n", NodeA: "c", NodeB: "d"})
+	n := &ClusterNode{Segs: []int{s0, s1}}
+	axis, cross, z := n.Extents(l)
+	if got, want := axis, 40e-6; math.Abs(got-want) > 1e-18 {
+		t.Errorf("axis extent %g, want %g", got, want)
+	}
+	if got, want := cross, 30e-6; math.Abs(got-want) > 1e-18 {
+		t.Errorf("cross extent %g, want %g", got, want)
+	}
+	if got := z; got <= 0 {
+		t.Errorf("z extent %g, want > 0 across layers", got)
+	}
+	if a, c, zz := (&ClusterNode{}).Extents(l); a != 0 || c != 0 || zz != 0 {
+		t.Errorf("empty node extents (%g, %g, %g), want zeros", a, c, zz)
 	}
 }
 

@@ -1,10 +1,12 @@
 #!/bin/sh
 # Regenerate BENCH_fasthenry.json: FastHenry-style loop-extraction
-# frequency sweeps, dense complex LU vs matrix-free GMRES over the
-# hierarchically compressed (ACA) partial-inductance operator, at
-# three filament counts. Also asserts the iterative path matches the
-# dense oracle to 1e-6 relative at every benchmarked size.
-# Run from anywhere in the repo.
+# frequency sweeps — dense complex LU vs matrix-free GMRES over the
+# flat-ACA operator vs the nested-basis (H²) operator, per worker
+# column (workers=1 and workers=NumCPU when they differ), from 288 to
+# ~102k filaments. Asserts the compressed paths match the dense oracle
+# to 1e-6 relative wherever dense is feasible, that flat and nested
+# cross-check at 16k filaments, and that nested wins on wall clock
+# there. Run from anywhere in the repo.
 set -e
 cd "$(dirname "$0")/.."
-BENCH_FASTHENRY=1 go test -run TestBenchFasthenrySnapshot -v -timeout 30m . "$@"
+BENCH_FASTHENRY=1 go test -run TestBenchFasthenrySnapshot -v -timeout 40m . "$@"

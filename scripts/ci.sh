@@ -24,9 +24,11 @@ fi
 
 # The fasthenry package includes the iterative-sweep race coverage: a
 # shared ACA-compressed operator driven by parallel frequency workers;
-# engine runs two concurrent sessions with conflicting configs.
-echo "== race detector (matrix, extract, fasthenry, sim, engine)"
-go test -race ./internal/matrix ./internal/extract ./internal/fasthenry ./internal/sim ./internal/engine
+# engine runs two concurrent sessions with conflicting configs; extract
+# builds nested-basis operators from concurrent goroutines sharing one
+# kernel cache; geom races parallel cluster-tree builds over one index.
+echo "== race detector (matrix, geom, extract, fasthenry, sim, engine)"
+go test -race ./internal/matrix ./internal/geom ./internal/extract ./internal/fasthenry ./internal/sim ./internal/engine
 
 # No new mutable package-level tuning state: process-wide Set* switches
 # are frozen to the three deprecated shims. Run configuration belongs in
