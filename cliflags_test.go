@@ -25,6 +25,13 @@ func TestCLIRejectsUnknownEnumFlags(t *testing.T) {
 		{"clocksim", []string{"-kernelcache", "sometimes"}},
 		{"clocksim", []string{"-solver", "hierarchical"}},
 		{"gridnoise", []string{"-irsolver", "quantum"}},
+		// A negative kernel-cache byte cap is rejected by the shared
+		// engine.Config validation in every tool that carries the cache,
+		// daemon included — fail-fast, before any input file is opened.
+		{"inductx", []string{"-cachebytes", "-1", "nonexistent.json"}},
+		{"rlsweep", []string{"-cachebytes", "-4096"}},
+		{"clocksim", []string{"-cachebytes", "-1"}},
+		{"inductd", []string{"-cachebytes", "-65536"}},
 	}
 	for _, tc := range cases {
 		tc := tc

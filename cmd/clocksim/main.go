@@ -33,13 +33,14 @@ func main() {
 		wavecsv = flag.String("waveforms", "", "write sink waveforms of each model to this CSV file")
 		workers = flag.Int("workers", 0, "solver/extraction goroutine cap (0 = all cores, 1 = serial)")
 		kcache  = flag.String("kernelcache", "on", "kernel cache: on | off | private (per-run)")
+		kbytes  = flag.Int64("cachebytes", 0, "kernel-cache byte cap, CLOCK-evicted over it (0 = unbounded)")
 		solver  = flag.String("solver", "auto", "loop-model branch solve: dense | iterative (flat ACA) | nested (H² bases) | auto")
 	)
 	flag.Parse()
 
 	// Flags translate into the run config up front; a bad enum value
 	// fails before any extraction starts.
-	cfg := engine.Config{Workers: *workers}
+	cfg := engine.Config{Workers: *workers, CacheBytes: *kbytes}
 	mode, err := fasthenry.ParseSolveMode(*solver)
 	if err != nil {
 		fatal(err)

@@ -47,6 +47,7 @@ func main() {
 		sample  = flag.Bool("sample", false, "print a sample layout JSON and exit")
 		spice   = flag.String("spice", "", "also write the stamped PEEC netlist as a SPICE deck to this file")
 		kcache  = flag.String("kernelcache", "on", "geometry-keyed kernel cache: on | off (results are bit-identical either way)")
+		kbytes  = flag.Int64("cachebytes", 0, "kernel-cache byte cap, CLOCK-evicted over it (0 = unbounded)")
 		solver  = flag.String("solver", "auto", "inductance representation: dense | iterative (flat ACA) | nested (H² bases) | auto (by segment count)")
 		acatol  = flag.Float64("acatol", 1e-8, "far-field relative tolerance for the compressed representations")
 		workers = flag.Int("workers", 0, "worker goroutines for extraction and operator build (0 = all CPUs)")
@@ -56,7 +57,7 @@ func main() {
 
 	// Every enum flag is validated before any file is opened or work is
 	// done: a typo fails in milliseconds with a one-line error.
-	cfg := engine.Config{ACATol: *acatol, Workers: *workers}
+	cfg := engine.Config{ACATol: *acatol, Workers: *workers, CacheBytes: *kbytes}
 	switch *kcache {
 	case "on":
 		cfg.Cache = engine.CacheDefault

@@ -66,6 +66,7 @@ func main() {
 		plus   = flag.String("plus", "", "port plus node (with -layout)")
 		minus  = flag.String("minus", "", "port minus node (with -layout)")
 		kcache = flag.String("kernelcache", "on", "geometry-keyed kernel cache for filament assembly: on | off (bit-identical either way)")
+		kbytes = flag.Int64("cachebytes", 0, "kernel-cache byte cap, CLOCK-evicted over it (0 = unbounded)")
 		solver = flag.String("solver", "auto", "branch solve: dense | iterative (flat ACA) | nested (H² bases) | auto (by filament count)")
 		precnd = flag.String("precond", "bjacobi", "GMRES preconditioner: bjacobi | sai (near-field sparse approximate inverse)")
 		acatol = flag.Float64("acatol", 1e-8, "far-field relative tolerance for the compressed solvers")
@@ -78,7 +79,7 @@ func main() {
 
 	// Enum flags are validated into the run config before any file is
 	// opened or filament is built: a typo fails in milliseconds.
-	cfg := engine.Config{ACATol: *acatol, Workers: *nwork}
+	cfg := engine.Config{ACATol: *acatol, Workers: *nwork, CacheBytes: *kbytes}
 	switch *kcache {
 	case "on":
 		cfg.Cache = engine.CacheDefault

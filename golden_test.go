@@ -29,7 +29,7 @@ var (
 	buildErr  error
 )
 
-// buildTools compiles all five CLI tools once per test process.
+// buildTools compiles all six CLI tools once per test process.
 func buildTools(t *testing.T) string {
 	t.Helper()
 	buildOnce.Do(func() {
@@ -39,7 +39,7 @@ func buildTools(t *testing.T) string {
 		}
 		cmd := exec.Command("go", "build", "-o", buildDir+string(os.PathSeparator),
 			"./cmd/rlsweep", "./cmd/inductx", "./cmd/clocksim", "./cmd/gridnoise",
-			"./cmd/designopt")
+			"./cmd/designopt", "./cmd/inductd")
 		out, err := cmd.CombinedOutput()
 		if err != nil {
 			buildErr = err

@@ -116,6 +116,15 @@ type Config struct {
 	Precond fasthenry.Precond
 	// Cache is the kernel-cache policy.
 	Cache CachePolicy
+	// CacheBytes bounds the run's kernel-cache resident footprint in
+	// bytes; over the cap, entries are evicted with a sharded CLOCK
+	// policy (bit-identical results either way — eviction only trades
+	// recomputation for memory). 0 = unbounded, the historical
+	// behavior; negative values are rejected. With CachePrivate the cap
+	// applies to the session's own cache; with CacheDefault it is
+	// applied to the process-wide shared cache (a process-level
+	// setting: the last session built wins); CacheOff ignores it.
+	CacheBytes int64
 	// Sparsification selects the §4 strategy for PEEC flows.
 	Sparsification Sparsification
 	// MOROrder, when positive, reduces PEEC flows with PRIMA using this
@@ -131,6 +140,9 @@ func (c Config) Validate() error {
 	}
 	if c.MOROrder < 0 {
 		return fmt.Errorf("engine: negative MOR order %d", c.MOROrder)
+	}
+	if c.CacheBytes < 0 {
+		return fmt.Errorf("engine: negative kernel-cache byte cap %d", c.CacheBytes)
 	}
 	switch c.Cache {
 	case CacheDefault, CachePrivate, CacheOff:
@@ -183,13 +195,34 @@ func NewChecked(cfg Config) (*Session, error) {
 	s := &Session{cfg: cfg}
 	switch cfg.Cache {
 	case CachePrivate:
-		s.cache = extract.PrivateCache()
+		if cfg.CacheBytes > 0 {
+			s.cache = extract.PrivateCacheBytes(cfg.CacheBytes)
+		} else {
+			s.cache = extract.PrivateCache()
+		}
 	case CacheOff:
 		s.cache = extract.NoCache()
 	default:
+		if cfg.CacheBytes > 0 {
+			extract.DefaultKernelCache().SetCapacity(cfg.CacheBytes)
+		}
 		s.cache = extract.DefaultCacheRef()
 	}
 	return s, nil
+}
+
+// NewCheckedWithCache is NewChecked with the session's kernel cache
+// supplied by the caller instead of minted from the config's cache
+// policy. It exists for daemons that multiplex many sessions over one
+// explicitly bounded cache (see internal/serve): each request gets its
+// own config, but they all memoize into — and are capped by — the one
+// cache the process owns. cfg.Cache and cfg.CacheBytes are validated
+// but otherwise ignored.
+func NewCheckedWithCache(cfg Config, ref extract.CacheRef) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg, cache: ref}, nil
 }
 
 // Config returns the session's immutable config.

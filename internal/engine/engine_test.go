@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"inductance101/internal/extract"
 	"inductance101/internal/fasthenry"
 )
 
@@ -35,6 +36,8 @@ func TestConfigValidate(t *testing.T) {
 		{Precond: fasthenry.Precond(7)},
 		{Sparsification: Sparsification(-1)},
 		{Sparsification: SparsifyKMatrix + 1},
+		{CacheBytes: -1},
+		{Cache: CachePrivate, CacheBytes: -4096},
 	}
 	for _, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
@@ -51,11 +54,42 @@ func TestConfigValidate(t *testing.T) {
 		{SolveMode: fasthenry.ModeNested},
 		{Precond: fasthenry.PrecondSAI},
 		{SolveMode: fasthenry.ModeNested, Precond: fasthenry.PrecondSAI},
+		{Cache: CachePrivate, CacheBytes: 1 << 20}, // zero CacheBytes = unbounded, positive = cap
 	}
 	for _, cfg := range good {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("Validate rejected good config %+v: %v", cfg, err)
 		}
+	}
+}
+
+// TestSessionCacheBytes pins the CacheBytes plumbing: a private-cache
+// session carries the cap on its own cache, and NewCheckedWithCache
+// binds the caller's shared cache to every session built over it.
+func TestSessionCacheBytes(t *testing.T) {
+	s := New(Config{Cache: CachePrivate, CacheBytes: 1 << 20})
+	if st := s.CacheStats(); st.CapBytes != 1<<20 {
+		t.Errorf("private session cache cap = %d, want %d", st.CapBytes, 1<<20)
+	}
+	if st := New(Config{Cache: CachePrivate}).CacheStats(); st.CapBytes != 0 {
+		t.Errorf("uncapped private session reports cap %d", st.CapBytes)
+	}
+
+	shared := extract.NewBoundedCache(2 << 20)
+	ref := extract.CacheRefOf(shared)
+	a, err := NewCheckedWithCache(Config{Workers: 1}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCheckedWithCache(Config{Workers: 2, Cache: CacheOff}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheRef().Cache() != shared || b.CacheRef().Cache() != shared {
+		t.Errorf("NewCheckedWithCache sessions do not share the supplied cache")
+	}
+	if _, err := NewCheckedWithCache(Config{CacheBytes: -1}, ref); err == nil {
+		t.Errorf("NewCheckedWithCache accepted an invalid config")
 	}
 }
 

@@ -76,53 +76,189 @@ func (k kernelKey) shard() int {
 	return int((h ^ h>>32) & (cacheShards - 1))
 }
 
+// cacheEntry is one resident kernel value plus its CLOCK reference
+// bit. The bit is set atomically on hits (under the shard read lock)
+// and inspected/cleared by the evictor (under the shard write lock), so
+// hits never upgrade to the write lock.
+type cacheEntry struct {
+	val float64
+	ref atomic.Bool
+}
+
+// entryBytes is the accounted footprint of one resident entry: the
+// 80-byte key stored twice (map key + CLOCK ring slot), the boxed
+// entry, the map's pointer value, and amortized map-bucket overhead.
+// A deliberately conservative flat constant so the byte accounting is
+// exact and deterministic: resident bytes == entries * entryBytes.
+const entryBytes = 256
+
 type cacheShard struct {
-	mu sync.RWMutex
-	m  map[kernelKey]float64
+	mu    sync.RWMutex
+	m     map[kernelKey]*cacheEntry
+	ring  []kernelKey // CLOCK ring over resident keys
+	hand  int
+	bytes int64
+}
+
+// evictOne runs the CLOCK hand until it finds an entry with a clear
+// reference bit and evicts it. Called with the shard write lock held
+// and at least one resident entry.
+func (sh *cacheShard) evictOne(evictions *atomic.Uint64) {
+	for {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		k := sh.ring[sh.hand]
+		e := sh.m[k]
+		if e.ref.Load() {
+			// Second chance: clear the bit, advance the hand.
+			e.ref.Store(false)
+			sh.hand++
+			continue
+		}
+		delete(sh.m, k)
+		last := len(sh.ring) - 1
+		sh.ring[sh.hand] = sh.ring[last]
+		sh.ring = sh.ring[:last]
+		sh.bytes -= entryBytes
+		evictions.Add(1)
+		return
+	}
+}
+
+// trim evicts until the shard holds at most maxEntries entries
+// (maxEntries < 0 means unbounded). Called with the write lock held.
+func (sh *cacheShard) trim(maxEntries int, evictions *atomic.Uint64) {
+	if maxEntries < 0 {
+		return
+	}
+	for len(sh.m) > maxEntries {
+		sh.evictOne(evictions)
+	}
 }
 
 // KernelCache is a sharded memo table for the pure geometry kernels.
-// The zero value is ready to use. All methods are safe for concurrent
-// use; two goroutines racing on the same missing key both compute the
-// (deterministic) value and store identical results.
+// The zero value is ready to use and unbounded. All methods are safe
+// for concurrent use; two goroutines racing on the same missing key
+// both compute the (deterministic) value and store identical results.
+//
+// A cache that lives in a long-running process sets a byte capacity
+// (SetCapacity / NewBoundedCache): resident entries are then evicted
+// with a sharded CLOCK policy (each insert over budget gives every
+// resident entry a second chance before reclaiming it), so the cache's
+// accounted footprint never exceeds the cap. Eviction only discards
+// memoized values — a re-miss recomputes the exact same bits — so
+// bounded and unbounded caches stay bit-identical in results.
 type KernelCache struct {
-	shards [cacheShards]cacheShard
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	shards    [cacheShards]cacheShard
+	capBytes  atomic.Int64 // 0 = unbounded
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// NewBoundedCache returns a fresh cache capped at capBytes of accounted
+// entry footprint (<= 0 means unbounded). Callers that need several
+// runs to share one bounded cache wrap it with CacheRefOf.
+func NewBoundedCache(capBytes int64) *KernelCache {
+	c := new(KernelCache)
+	c.SetCapacity(capBytes)
+	return c
+}
+
+// SetCapacity bounds the cache's accounted resident footprint to
+// capBytes (<= 0 removes the bound). Shrinking trims each shard to the
+// new budget immediately. The budget is split evenly across the 64
+// shards, so caps below 64*entryBytes (16 KiB) leave some shards with
+// no budget at all; such shards stop memoizing rather than thrash.
+func (c *KernelCache) SetCapacity(capBytes int64) {
+	if capBytes < 0 {
+		capBytes = 0
+	}
+	c.capBytes.Store(capBytes)
+	max := c.shardMaxEntries()
+	if max < 0 {
+		return
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.trim(max, &c.evictions)
+		sh.mu.Unlock()
+	}
+}
+
+// Capacity returns the byte cap (0 = unbounded).
+func (c *KernelCache) Capacity() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.capBytes.Load()
+}
+
+// shardMaxEntries converts the byte cap into a per-shard entry budget:
+// -1 for unbounded, otherwise floor(cap/shards/entryBytes).
+func (c *KernelCache) shardMaxEntries() int {
+	cap := c.capBytes.Load()
+	if cap <= 0 {
+		return -1
+	}
+	return int(cap / cacheShards / entryBytes)
 }
 
 // getOrCompute returns the cached value for k, computing and storing it
-// on a miss.
+// on a miss (evicting first if the shard is at its budget).
 func (c *KernelCache) getOrCompute(k kernelKey, compute func() float64) float64 {
 	sh := &c.shards[k.shard()]
 	sh.mu.RLock()
-	v, ok := sh.m[k]
+	e, ok := sh.m[k]
 	sh.mu.RUnlock()
 	if ok {
+		e.ref.Store(true)
 		c.hits.Add(1)
-		return v
+		return e.val
 	}
 	c.misses.Add(1)
-	v = compute()
-	sh.mu.Lock()
-	if sh.m == nil {
-		sh.m = make(map[kernelKey]float64)
+	v := compute()
+	max := c.shardMaxEntries()
+	if max == 0 {
+		// No per-shard budget at this cap: stay a pure pass-through.
+		return v
 	}
-	sh.m[k] = v
+	sh.mu.Lock()
+	if e, ok := sh.m[k]; ok {
+		// A racing goroutine stored the (identical) value first.
+		sh.mu.Unlock()
+		return e.val
+	}
+	if sh.m == nil {
+		sh.m = make(map[kernelKey]*cacheEntry)
+	}
+	if max > 0 {
+		sh.trim(max-1, &c.evictions)
+	}
+	sh.m[k] = &cacheEntry{val: v}
+	sh.ring = append(sh.ring, k)
+	sh.bytes += entryBytes
 	sh.mu.Unlock()
 	return v
 }
 
-// reset drops every entry and zeroes the counters.
+// reset drops every entry and zeroes the counters (the byte capacity is
+// retained).
 func (c *KernelCache) reset() {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		sh.m = nil
+		sh.ring = nil
+		sh.hand = 0
+		sh.bytes = 0
 		sh.mu.Unlock()
 	}
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.evictions.Store(0)
 }
 
 // entries counts the stored values across shards.
@@ -132,6 +268,18 @@ func (c *KernelCache) entries() int {
 		sh := &c.shards[i]
 		sh.mu.RLock()
 		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// residentBytes sums the accounted footprint across shards.
+func (c *KernelCache) residentBytes() int64 {
+	var n int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += sh.bytes
 		sh.mu.RUnlock()
 	}
 	return n
@@ -170,12 +318,25 @@ func ResetKernelCache() {
 	defaultCache.reset()
 }
 
+// DefaultKernelCache returns the process-wide cache, so long-running
+// owners can bound it (SetCapacity) or inspect it directly. The
+// returned cache is shared state: capping it affects every run that
+// resolves a default CacheRef.
+func DefaultKernelCache() *KernelCache { return &defaultCache }
+
 // CacheStats is a snapshot of the kernel cache counters.
 type CacheStats struct {
 	Enabled bool
 	Hits    uint64
 	Misses  uint64
 	Entries int
+	// Bytes is the accounted resident footprint (Entries * entryBytes);
+	// it never exceeds CapBytes when a cap is set.
+	Bytes int64
+	// CapBytes is the byte capacity (0 = unbounded).
+	CapBytes int64
+	// Evictions counts entries reclaimed by the CLOCK policy.
+	Evictions uint64
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -189,12 +350,9 @@ func (s CacheStats) HitRate() float64 {
 
 // KernelCacheStats snapshots the process-wide cache counters.
 func KernelCacheStats() CacheStats {
-	return CacheStats{
-		Enabled: KernelCacheEnabled(),
-		Hits:    defaultCache.hits.Load(),
-		Misses:  defaultCache.misses.Load(),
-		Entries: defaultCache.entries(),
-	}
+	st := defaultCache.Stats()
+	st.Enabled = KernelCacheEnabled()
+	return st
 }
 
 // Stats snapshots this cache's counters. A nil receiver (the disabled
@@ -204,10 +362,13 @@ func (c *KernelCache) Stats() CacheStats {
 		return CacheStats{}
 	}
 	return CacheStats{
-		Enabled: true,
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Entries: c.entries(),
+		Enabled:   true,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Entries:   c.entries(),
+		Bytes:     c.residentBytes(),
+		CapBytes:  c.capBytes.Load(),
+		Evictions: c.evictions.Load(),
 	}
 }
 
@@ -252,6 +413,12 @@ func NoCache() CacheRef { return CacheRef{kind: cacheRefOff} }
 // PrivateCache returns a ref owning a fresh cache, isolated from the
 // process default and from every other session.
 func PrivateCache() CacheRef { return CacheRef{kind: cacheRefOwned, c: new(KernelCache)} }
+
+// PrivateCacheBytes is PrivateCache with a byte cap on the fresh
+// cache's resident footprint (<= 0 means unbounded).
+func PrivateCacheBytes(capBytes int64) CacheRef {
+	return CacheRef{kind: cacheRefOwned, c: NewBoundedCache(capBytes)}
+}
 
 // CacheRefOf wraps an existing cache so several runs can share it
 // explicitly. A nil cache behaves like NoCache.

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by acquire when the waiting queue is at its
+// depth bound; the HTTP layer turns it into a 429 so clients back off
+// instead of piling up.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// scheduler hands out worker slots to jobs. The policy is:
+//
+//   - at most `slots` jobs run at once (the Config.Workers carve-out);
+//   - at most `tenantCap` of them belong to any one tenant, so a noisy
+//     tenant cannot starve the rest of the fleet;
+//   - among eligible waiting jobs, lower priority number wins, ties go
+//     to arrival order;
+//   - at most `queueCap` jobs wait; beyond that, admission fails with
+//     ErrQueueFull (backpressure, not buffering).
+//
+// The scheduler is passive — there is no dispatcher goroutine. Grants
+// happen inline under the mutex at release time, so a freed slot is
+// reassigned before release returns.
+type scheduler struct {
+	mu        sync.Mutex
+	slots     int
+	tenantCap int
+	queueCap  int
+	free      int
+	running   map[string]int // tenant -> running jobs
+	waiting   []*waiter
+	seq       uint64
+}
+
+type waiter struct {
+	tenant string
+	prio   int
+	seq    uint64
+	grant  chan struct{} // closed when a slot is assigned
+}
+
+func newScheduler(slots, tenantCap, queueCap int) *scheduler {
+	return &scheduler{
+		slots:     slots,
+		tenantCap: tenantCap,
+		queueCap:  queueCap,
+		free:      slots,
+		running:   make(map[string]int),
+	}
+}
+
+// acquire blocks until the job holds a worker slot or ctx ends.
+// admitted reports whether the job made it past admission (queued or
+// granted): a false return is a queue-full rejection and err is
+// ErrQueueFull; a true return with err != nil means the client went
+// away while the job waited (the slot, if one was racing in, has been
+// returned). On (true, nil) the caller owns a slot and must release it.
+func (s *scheduler) acquire(ctx context.Context, tenant string, prio int) (admitted bool, err error) {
+	s.mu.Lock()
+	// Fast path: a free slot and budget headroom. Anyone still waiting
+	// is blocked by their own tenant cap (the dispatch invariant), so
+	// taking the slot directly cannot starve them.
+	if s.free > 0 && s.running[tenant] < s.tenantCap {
+		s.free--
+		s.running[tenant]++
+		s.mu.Unlock()
+		return true, nil
+	}
+	if len(s.waiting) >= s.queueCap {
+		s.mu.Unlock()
+		return false, ErrQueueFull
+	}
+	w := &waiter{tenant: tenant, prio: prio, seq: s.seq, grant: make(chan struct{})}
+	s.seq++
+	s.waiting = append(s.waiting, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return true, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for i, x := range s.waiting {
+			if x == w {
+				s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+				s.mu.Unlock()
+				return true, ctx.Err()
+			}
+		}
+		s.mu.Unlock()
+		// The grant raced the cancellation: the slot is ours, give it
+		// straight back (which re-dispatches it).
+		<-w.grant
+		s.release(tenant)
+		return true, ctx.Err()
+	}
+}
+
+// release returns a slot and immediately re-dispatches it to the best
+// eligible waiter.
+func (s *scheduler) release(tenant string) {
+	s.mu.Lock()
+	s.running[tenant]--
+	if s.running[tenant] <= 0 {
+		delete(s.running, tenant)
+	}
+	s.free++
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// dispatchLocked grants free slots to waiting jobs until none are
+// eligible: strict priority order, FIFO within a priority, skipping
+// tenants at their budget. Called with the mutex held.
+func (s *scheduler) dispatchLocked() {
+	for s.free > 0 {
+		best := -1
+		for i, w := range s.waiting {
+			if s.running[w.tenant] >= s.tenantCap {
+				continue
+			}
+			if best < 0 || w.prio < s.waiting[best].prio ||
+				(w.prio == s.waiting[best].prio && w.seq < s.waiting[best].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		w := s.waiting[best]
+		s.waiting = append(s.waiting[:best], s.waiting[best+1:]...)
+		s.free--
+		s.running[w.tenant]++
+		close(w.grant)
+	}
+}
+
+// queueDepth reports the number of jobs waiting for a slot.
+func (s *scheduler) queueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiting)
+}
+
+// runningTotal reports the number of jobs holding slots.
+func (s *scheduler) runningTotal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slots - s.free
+}

@@ -26,9 +26,11 @@ fi
 # shared ACA-compressed operator driven by parallel frequency workers;
 # engine runs two concurrent sessions with conflicting configs; extract
 # builds nested-basis operators from concurrent goroutines sharing one
-# kernel cache; geom races parallel cluster-tree builds over one index.
-echo "== race detector (matrix, geom, extract, fasthenry, sim, engine)"
-go test -race ./internal/matrix ./internal/geom ./internal/extract ./internal/fasthenry ./internal/sim ./internal/engine
+# kernel cache; geom races parallel cluster-tree builds over one index;
+# serve drives the multi-tenant job server with conflicting tenant
+# configs over the shared bounded cache and mid-stream disconnects.
+echo "== race detector (matrix, geom, extract, fasthenry, sim, engine, serve)"
+go test -race ./internal/matrix ./internal/geom ./internal/extract ./internal/fasthenry ./internal/sim ./internal/engine ./internal/serve
 
 # No new mutable package-level tuning state: process-wide Set* switches
 # are frozen to the three deprecated shims. Run configuration belongs in
