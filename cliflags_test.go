@@ -25,6 +25,7 @@ func TestCLIRejectsUnknownEnumFlags(t *testing.T) {
 		{"clocksim", []string{"-kernelcache", "sometimes"}},
 		{"clocksim", []string{"-solver", "hierarchical"}},
 		{"gridnoise", []string{"-irsolver", "quantum"}},
+		{"gridnoise", []string{"-irsolver", "multigrid"}},
 		// A negative kernel-cache byte cap is rejected by the shared
 		// engine.Config validation in every tool that carries the cache,
 		// daemon included — fail-fast, before any input file is opened.

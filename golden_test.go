@@ -146,6 +146,21 @@ func TestGoldenGridnoise(t *testing.T) {
 	checkGolden(t, "gridnoise", runTool(t, filepath.Join(dir, "gridnoise")))
 }
 
+func TestGoldenGridnoiseMG(t *testing.T) {
+	dir := buildTools(t)
+	// The multigrid static-IR path; bit-deterministic at any -workers.
+	checkGolden(t, "gridnoise_mg", runTool(t, filepath.Join(dir, "gridnoise"),
+		"-irsolver", "mg", "-workers", "2"))
+}
+
+func TestGoldenGridnoiseSynth(t *testing.T) {
+	dir := buildTools(t)
+	// Streaming synthetic grid, MG static solve, cached-hierarchy
+	// transient — deterministic fixed-seed generation end to end.
+	checkGolden(t, "gridnoise_synth", runTool(t, filepath.Join(dir, "gridnoise"),
+		"-synth", "5000", "-synthtran", "-workers", "2"))
+}
+
 func TestGoldenDesignopt(t *testing.T) {
 	dir := buildTools(t)
 	// Seeded run: net properties and annealing are deterministic.

@@ -92,6 +92,70 @@ func (s Sparsification) String() string {
 	}
 }
 
+// GridSolver selects the power-grid static-IR solve path of a run's
+// supply analyses.
+type GridSolver int
+
+const (
+	// GridSolverAuto defers to the analyzer default (dense today).
+	GridSolverAuto GridSolver = iota
+	// GridSolverDense solves the full MNA system densely.
+	GridSolverDense
+	// GridSolverCG solves the SPD sparse system with Jacobi-
+	// preconditioned conjugate gradients.
+	GridSolverCG
+	// GridSolverChol solves the sparse system with the direct
+	// fill-reducing Cholesky factorization.
+	GridSolverChol
+	// GridSolverMG solves with multigrid-preconditioned conjugate
+	// gradients — the O(N) path that reaches million-node grids.
+	GridSolverMG
+)
+
+// String returns the CLI spelling of the solver.
+func (g GridSolver) String() string {
+	switch g {
+	case GridSolverDense:
+		return "dense"
+	case GridSolverCG:
+		return "cg"
+	case GridSolverChol:
+		return "chol"
+	case GridSolverMG:
+		return "mg"
+	default:
+		return "auto"
+	}
+}
+
+// IRSolverName returns the spelling the supply analyzer's Spec.IRSolver
+// field accepts: "" for auto (inherit the analyzer default), the CLI
+// spelling otherwise.
+func (g GridSolver) IRSolverName() string {
+	if g == GridSolverAuto {
+		return ""
+	}
+	return g.String()
+}
+
+// ParseGridSolver parses the CLI spelling of a grid solver, rejecting
+// unknown values with a one-line error.
+func ParseGridSolver(s string) (GridSolver, error) {
+	switch s {
+	case "", "auto":
+		return GridSolverAuto, nil
+	case "dense":
+		return GridSolverDense, nil
+	case "cg":
+		return GridSolverCG, nil
+	case "chol":
+		return GridSolverChol, nil
+	case "mg":
+		return GridSolverMG, nil
+	}
+	return 0, fmt.Errorf("engine: unknown grid solver %q (want auto, dense, cg, chol or mg)", s)
+}
+
 // Config is one run's immutable tuning. Zero values inherit the
 // process defaults (each field documents its own convention), so
 // Config{} reproduces today's behavior exactly.
@@ -127,6 +191,9 @@ type Config struct {
 	CacheBytes int64
 	// Sparsification selects the §4 strategy for PEEC flows.
 	Sparsification Sparsification
+	// GridSolver selects the power-grid static-IR solve path
+	// (auto/dense/cg/chol/mg).
+	GridSolver GridSolver
 	// MOROrder, when positive, reduces PEEC flows with PRIMA using this
 	// many block moments. 0 = no model-order reduction.
 	MOROrder int
@@ -161,6 +228,9 @@ func (c Config) Validate() error {
 	}
 	if c.Sparsification < SparsifyNone || c.Sparsification > SparsifyKMatrix {
 		return fmt.Errorf("engine: unknown sparsification %d", int(c.Sparsification))
+	}
+	if c.GridSolver < GridSolverAuto || c.GridSolver > GridSolverMG {
+		return fmt.Errorf("engine: unknown grid solver %d", int(c.GridSolver))
 	}
 	return nil
 }

@@ -38,6 +38,8 @@ func TestConfigValidate(t *testing.T) {
 		{Sparsification: SparsifyKMatrix + 1},
 		{CacheBytes: -1},
 		{Cache: CachePrivate, CacheBytes: -4096},
+		{GridSolver: GridSolver(-1)},
+		{GridSolver: GridSolverMG + 1},
 	}
 	for _, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
@@ -141,6 +143,32 @@ func TestEnumStrings(t *testing.T) {
 		if s.String() != str {
 			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), str)
 		}
+	}
+}
+
+func TestParseGridSolver(t *testing.T) {
+	good := map[string]GridSolver{
+		"": GridSolverAuto, "auto": GridSolverAuto, "dense": GridSolverDense,
+		"cg": GridSolverCG, "chol": GridSolverChol, "mg": GridSolverMG,
+	}
+	for in, want := range good {
+		gs, err := ParseGridSolver(in)
+		if err != nil || gs != want {
+			t.Errorf("ParseGridSolver(%q) = %v, %v; want %v", in, gs, err, want)
+		}
+		if err := (Config{GridSolver: gs}).Validate(); err != nil {
+			t.Errorf("Validate rejected GridSolver %v: %v", gs, err)
+		}
+	}
+	for _, in := range []string{"multigrid", "lu", "CG", "amg"} {
+		if _, err := ParseGridSolver(in); err == nil {
+			t.Errorf("ParseGridSolver accepted %q", in)
+		}
+	}
+	// IRSolverName round-trips into the supply layer: auto maps to the
+	// empty string (let the grid size pick), everything else verbatim.
+	if GridSolverAuto.IRSolverName() != "" || GridSolverMG.IRSolverName() != "mg" {
+		t.Error("IRSolverName drifted")
 	}
 }
 

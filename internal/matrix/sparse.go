@@ -154,18 +154,36 @@ type CGOptions struct {
 	MaxIter int     // default 10*n
 }
 
+// CGStats reports what a conjugate-gradient solve actually did — the
+// iteration count and the tolerance in force — so benchmark snapshots
+// can expose preconditioning regressions instead of timing alone.
+type CGStats struct {
+	// Iterations is the CG iteration count at convergence.
+	Iterations int
+	// Tol is the relative residual target the solve ran with (after
+	// defaulting); Residual the final relative residual achieved.
+	Tol, Residual float64
+}
+
 // SolveCG solves a*x = b for symmetric positive definite a using
 // Jacobi-preconditioned conjugate gradients. Power/ground grid
 // conductance systems are SPD, which is why the paper's combined
 // technique can use Cholesky; CG is the iterative analogue used here for
 // the large sparse path.
 func (m *CSR) SolveCG(b []float64, opt CGOptions) ([]float64, error) {
+	x, _, err := m.SolveCGStats(b, opt)
+	return x, err
+}
+
+// SolveCGStats is SolveCG with the iteration/tolerance statistics
+// returned alongside the solution.
+func (m *CSR) SolveCGStats(b []float64, opt CGOptions) ([]float64, CGStats, error) {
 	if m.rows != m.cols {
-		return nil, fmt.Errorf("matrix: CG needs a square matrix, got %dx%d", m.rows, m.cols)
+		return nil, CGStats{}, fmt.Errorf("matrix: CG needs a square matrix, got %dx%d", m.rows, m.cols)
 	}
 	n := m.rows
 	if len(b) != n {
-		return nil, fmt.Errorf("matrix: CG rhs length %d, want %d", len(b), n)
+		return nil, CGStats{}, fmt.Errorf("matrix: CG rhs length %d, want %d", len(b), n)
 	}
 	if opt.Tol <= 0 {
 		opt.Tol = 1e-10
@@ -173,11 +191,12 @@ func (m *CSR) SolveCG(b []float64, opt CGOptions) ([]float64, error) {
 	if opt.MaxIter <= 0 {
 		opt.MaxIter = 10*n + 50
 	}
+	st := CGStats{Tol: opt.Tol}
 	diag := m.Diag()
 	invD := make([]float64, n)
 	for i, d := range diag {
 		if d <= 0 {
-			return nil, fmt.Errorf("matrix: CG diagonal %d = %g not positive", i, d)
+			return nil, st, fmt.Errorf("matrix: CG diagonal %d = %g not positive", i, d)
 		}
 		invD[i] = 1 / d
 	}
@@ -185,7 +204,7 @@ func (m *CSR) SolveCG(b []float64, opt CGOptions) ([]float64, error) {
 	r := CloneVec(b)
 	bn := Norm2(b)
 	if bn == 0 {
-		return x, nil
+		return x, st, nil
 	}
 	z := make([]float64, n)
 	for i := range z {
@@ -198,13 +217,15 @@ func (m *CSR) SolveCG(b []float64, opt CGOptions) ([]float64, error) {
 		m.MulVecTo(ap, p)
 		pap := Dot(p, ap)
 		if pap <= 0 {
-			return nil, fmt.Errorf("matrix: CG breakdown, p'Ap = %g (matrix not SPD?)", pap)
+			return nil, st, fmt.Errorf("matrix: CG breakdown, p'Ap = %g (matrix not SPD?)", pap)
 		}
 		alpha := rz / pap
 		Axpy(alpha, p, x)
 		Axpy(-alpha, ap, r)
-		if Norm2(r) <= opt.Tol*bn {
-			return x, nil
+		rn := Norm2(r)
+		st.Iterations, st.Residual = it+1, rn/bn
+		if rn <= opt.Tol*bn {
+			return x, st, nil
 		}
 		for i := range z {
 			z[i] = invD[i] * r[i]
@@ -216,7 +237,7 @@ func (m *CSR) SolveCG(b []float64, opt CGOptions) ([]float64, error) {
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return nil, fmt.Errorf("matrix: CG did not converge in %d iterations (residual %g)",
+	return nil, st, fmt.Errorf("matrix: CG did not converge in %d iterations (residual %g)",
 		opt.MaxIter, Norm2(r)/bn)
 }
 

@@ -42,10 +42,16 @@ type Spec struct {
 	TStop      float64
 	TStep      float64
 	// IRSolver picks the static-reference solve: "dense" (default, the
-	// dense LU on the full MNA), "cg" (sparse conjugate gradients), or
-	// "chol" (sparse direct Cholesky). The sparse choices route through
-	// circuit.BuildSparseDC and scale to grids far beyond dense reach.
+	// dense LU on the full MNA), "cg" (sparse conjugate gradients),
+	// "chol" (sparse direct Cholesky), or "mg" (multigrid-preconditioned
+	// conjugate gradients). The sparse choices route through
+	// circuit.BuildSparseDC and scale to grids far beyond dense reach;
+	// "mg" is the O(N) path of the million-node flows. "auto" and ""
+	// both mean the dense default.
 	IRSolver string
+	// Workers caps the iterative solvers' parallelism (0 = process
+	// default); only "mg" currently fans out.
+	Workers int
 }
 
 // DefaultSpec gives a 4x4 grid with a single centre burst.
@@ -84,10 +90,10 @@ type Report struct {
 // in milliseconds, not after the transient.
 func ValidateIRSolver(s string) error {
 	switch s {
-	case "", "dense", "cg", "chol":
+	case "", "auto", "dense", "cg", "chol", "mg":
 		return nil
 	}
-	return fmt.Errorf("supply: unknown IR solver %q (want dense, cg or chol)", s)
+	return fmt.Errorf("supply: unknown IR solver %q (want auto, dense, cg, chol or mg)", s)
 }
 
 // Analyze runs the transient and the static reference solve.
@@ -156,14 +162,16 @@ func Analyze(spec Spec) (*Report, error) {
 		nS.AddI(fmt.Sprintf("dc%d", k), vddN, gndN, circuit.DC(bu.Peak))
 	}
 	switch spec.IRSolver {
-	case "", "dense":
+	case "", "auto", "dense":
 		rep.StaticIR, err = grid.IRDropDC(mS, nS, spec.Vdd)
 	case "cg":
 		rep.StaticIR, err = grid.IRDropDCSparse(mS, nS, spec.Vdd)
 	case "chol":
 		rep.StaticIR, err = grid.IRDropDCSparseChol(mS, nS, spec.Vdd)
+	case "mg":
+		rep.StaticIR, err = grid.IRDropDCMG(mS, nS, spec.Vdd, spec.Workers)
 	default:
-		return nil, fmt.Errorf("supply: unknown IR solver %q (want dense, cg or chol)", spec.IRSolver)
+		return nil, fmt.Errorf("supply: unknown IR solver %q (want auto, dense, cg, chol or mg)", spec.IRSolver)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("supply: static reference: %w", err)

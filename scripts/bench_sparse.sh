@@ -1,7 +1,11 @@
 #!/bin/sh
-# Regenerate BENCH_sparse.json: the sparse direct solver (Cholesky, CG,
-# LU) against the dense kernels on a gridnoise-scale power grid. The
-# dense static-IR solve takes a while at this size; that is the point.
+# Regenerate BENCH_sparse.json: the solver menu (dense LU, sparse direct
+# Cholesky, Jacobi-CG, multigrid-PCG) on power grids from gridnoise
+# scale (2.3k MNA unknowns) to streaming-assembled synthetic grids of a
+# million-plus nodes — one JSON row per size with iteration counts and
+# tolerances alongside the timings. Also runs the 1e5-node cached-
+# hierarchy transient and asserts it fits the wall-clock budget. The
+# dense static-IR solve takes a while at 2.3k; that is the point.
 set -e
 cd "$(dirname "$0")/.."
-BENCH_SPARSE=1 go test -run TestBenchSparseSnapshot -v -timeout 30m . "$@"
+BENCH_SPARSE=1 go test -run TestBenchSparseSnapshot -v -timeout 60m . "$@"

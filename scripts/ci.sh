@@ -28,9 +28,12 @@ fi
 # builds nested-basis operators from concurrent goroutines sharing one
 # kernel cache; geom races parallel cluster-tree builds over one index;
 # serve drives the multi-tenant job server with conflicting tenant
-# configs over the shared bounded cache and mid-stream disconnects.
-echo "== race detector (matrix, geom, extract, fasthenry, sim, engine, serve)"
-go test -race ./internal/matrix ./internal/geom ./internal/extract ./internal/fasthenry ./internal/sim ./internal/engine ./internal/serve
+# configs over the shared bounded cache and mid-stream disconnects;
+# matrix runs concurrent multigrid V-cycles with conflicting worker
+# counts against one shared hierarchy; grid covers the streaming
+# assembly feeding worker-parallel MG solves.
+echo "== race detector (matrix, geom, extract, fasthenry, sim, engine, serve, grid)"
+go test -race ./internal/matrix ./internal/geom ./internal/extract ./internal/fasthenry ./internal/sim ./internal/engine ./internal/serve ./internal/grid
 
 # No new mutable package-level tuning state: process-wide Set* switches
 # are frozen to the three deprecated shims. Run configuration belongs in
