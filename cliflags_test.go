@@ -33,6 +33,13 @@ func TestCLIRejectsUnknownEnumFlags(t *testing.T) {
 		{"rlsweep", []string{"-cachebytes", "-4096"}},
 		{"clocksim", []string{"-cachebytes", "-1"}},
 		{"inductd", []string{"-cachebytes", "-65536"}},
+		// Sweep-mode enum and tolerance validation: unknown modes and
+		// non-positive tolerances fail in milliseconds.
+		{"rlsweep", []string{"-sweep", "spline"}},
+		{"rlsweep", []string{"-sweeptol", "-2"}},
+		{"rlsweep", []string{"-sweeptol", "0"}},
+		{"inductx", []string{"-sweep", "spline", "nonexistent.json"}},
+		{"inductx", []string{"-sweeptol", "-3", "nonexistent.json"}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -65,6 +72,39 @@ func TestCLIRejectsUnknownEnumFlags(t *testing.T) {
 				t.Errorf("%s %v validated the flag only after touching the input: %q", tc.tool, tc.args, msg)
 			}
 		})
+	}
+}
+
+// TestRLSweepAdaptiveVerbose runs an adaptive sweep end to end: the CSV
+// must carry the interp column, a majority of rows must be
+// interpolated, and -v must report the anchor/interpolation split.
+func TestRLSweepAdaptiveVerbose(t *testing.T) {
+	dir := buildTools(t)
+	cmd := exec.Command(filepath.Join(dir, "rlsweep"),
+		"-sweep", "adaptive", "-sweeptol", "1e-6", "-points", "96", "-workers", "2", "-v")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("rlsweep -sweep adaptive failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 97 || lines[0] != "freq_hz,r_ohm,l_h,interp" {
+		t.Fatalf("unexpected adaptive CSV shape (%d lines, header %q)", len(lines), lines[0])
+	}
+	interp := 0
+	for _, ln := range lines[1:] {
+		if strings.HasSuffix(ln, ",1") {
+			interp++
+		} else if !strings.HasSuffix(ln, ",0") {
+			t.Fatalf("row without interp column: %q", ln)
+		}
+	}
+	if interp < 48 {
+		t.Errorf("only %d of 96 rows interpolated", interp)
+	}
+	if !strings.Contains(stderr.String(), "adaptive sweep:") {
+		t.Errorf("-v does not report the adaptive anchor split:\n%s", stderr.String())
 	}
 }
 

@@ -25,7 +25,13 @@
 //	 "layout":{"layers":[...],"segments":[...]},
 //	 "port":{"plus":"s0","minus":"g0"},"shorts":[["s1","g1"]],
 //	 "fstart_hz":1e8,"fstop_hz":2e10,"points":13,
-//	 "config":{"solver":"auto","workers":1,"kernelcache":"shared"}}
+//	 "config":{"solver":"auto","workers":1,"kernelcache":"shared",
+//	           "sweep":"auto","sweeptol":1e-6}}
+//
+// config.sweep selects exact per-point solves, the adaptive
+// rational-interpolation engine, or auto (adaptive at 64+ points);
+// adaptive responses mark interpolated rows with "interp":true and
+// stream after the fit converges rather than point by point.
 //
 // Flags are validated fail-fast with a one-line error before the
 // listener opens; -cachebytes rejects negative values (0 = unbounded).

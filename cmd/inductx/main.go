@@ -7,6 +7,7 @@
 //
 //	inductx [-l matrix|summary] [-c] [-window 0] [-kernelcache on|off]
 //	        [-solver auto|dense|iterative|nested] [-acatol 1e-8]
+//	        [-sweep exact|adaptive|auto] [-sweeptol 1e-6]
 //	        [-workers 0] [-v] layout.json
 //	inductx -sample          # print a sample layout document
 //
@@ -50,6 +51,8 @@ func main() {
 		kbytes  = flag.Int64("cachebytes", 0, "kernel-cache byte cap, CLOCK-evicted over it (0 = unbounded)")
 		solver  = flag.String("solver", "auto", "inductance representation: dense | iterative (flat ACA) | nested (H² bases) | auto (by segment count)")
 		acatol  = flag.Float64("acatol", 1e-8, "far-field relative tolerance for the compressed representations")
+		swmode  = flag.String("sweep", "auto", "sweep strategy carried in the run config: exact | adaptive | auto (validated here, consumed by frequency-sweeping flows)")
+		swtol   = flag.Float64("sweeptol", 1e-6, "adaptive sweep relative interpolation tolerance")
 		workers = flag.Int("workers", 0, "worker goroutines for extraction and operator build (0 = all CPUs)")
 		verbose = flag.Bool("v", false, "print extraction diagnostics (kernel cache hit/miss counters, operator compression, rank histograms)")
 	)
@@ -76,6 +79,18 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -l mode %q", *lMode))
 	}
+	// The sweep settings ride in the shared run config so every tool
+	// rejects bad values with the same message; inductx itself extracts
+	// at DC, so they only gate validation here.
+	sm, err := engine.ParseSweepMode(*swmode)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.SweepMode = sm
+	if !(*swtol > 0) {
+		fatal(fmt.Errorf("-sweeptol must be > 0, got %g", *swtol))
+	}
+	cfg.SweepTol = *swtol
 	sess, err := engine.NewChecked(cfg)
 	if err != nil {
 		fatal(err)

@@ -8,7 +8,8 @@
 //	rlsweep [-length 2e-3] [-width 8e-6] [-pitch 20e-6]
 //	        [-fstart 1e8] [-fstop 2e10] [-points 13] [-fit] [-kernelcache on|off]
 //	        [-solver auto|dense|iterative|nested] [-precond bjacobi|sai]
-//	        [-acatol 1e-8] [-workers 0] [-v]
+//	        [-acatol 1e-8] [-sweep exact|adaptive|auto] [-sweeptol 1e-6]
+//	        [-workers 0] [-v]
 //	rlsweep -layout l.json -plus s0 -minus g0 -short s1=g1 [-short a=b ...]
 //
 // -solver picks the branch-system solve: dense complex LU (the exact
@@ -17,7 +18,12 @@
 // H² operator (nested), or auto (dense below 512 filaments, flat ACA to
 // 8191, nested beyond). -precond selects the GMRES preconditioner:
 // block-Jacobi over the cluster diagonal, or the near-field sparse
-// approximate inverse. -workers caps the operator-build and sweep
+// approximate inverse. -sweep picks the sweep strategy: exact solves
+// every requested frequency, adaptive solves only rational-fit anchor
+// points (with Krylov recycling across anchors) and interpolates the
+// rest within -sweeptol, and auto switches to adaptive at 64+ points;
+// in adaptive mode the CSV carries a fourth interp column marking
+// interpolated rows. -workers caps the operator-build and sweep
 // fan-out (0 = all CPUs; results are bit-identical at any setting).
 // -v prints diagnostics to stderr: the resolved solve mode, kernel
 // cache hit/miss/entry counters, operator compression stats with
@@ -70,6 +76,8 @@ func main() {
 		solver = flag.String("solver", "auto", "branch solve: dense | iterative (flat ACA) | nested (H² bases) | auto (by filament count)")
 		precnd = flag.String("precond", "bjacobi", "GMRES preconditioner: bjacobi | sai (near-field sparse approximate inverse)")
 		acatol = flag.Float64("acatol", 1e-8, "far-field relative tolerance for the compressed solvers")
+		swmode = flag.String("sweep", "auto", "sweep strategy: exact (solve every point) | adaptive (rational fit over anchor solves) | auto (adaptive at 64+ points)")
+		swtol  = flag.Float64("sweeptol", 1e-6, "adaptive sweep relative interpolation tolerance")
 		nwork  = flag.Int("workers", 0, "worker goroutines for operator build and sweep (0 = all CPUs)")
 		verb   = flag.Bool("v", false, "print solve diagnostics to stderr (solve mode, kernel cache counters, operator stats, GMRES iterations)")
 		shorts shortList
@@ -98,6 +106,15 @@ func main() {
 		fatal(err)
 	}
 	cfg.Precond = pre
+	sm, err := engine.ParseSweepMode(*swmode)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.SweepMode = sm
+	if !(*swtol > 0) {
+		fatal(fmt.Errorf("-sweeptol must be > 0, got %g", *swtol))
+	}
+	cfg.SweepTol = *swtol
 	sess, err := engine.NewChecked(cfg)
 	if err != nil {
 		fatal(err)
@@ -144,9 +161,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("freq_hz,r_ohm,l_h")
-	for _, p := range pts {
-		fmt.Printf("%g,%g,%g\n", p.Freq, p.R, p.L)
+	// The adaptive engine distinguishes solved anchors from
+	// interpolated rows; only then does the CSV carry the extra column,
+	// so exact-mode output (goldens, downstream parsers) is unchanged.
+	if cfg.SweepMode.Adapt(*points) {
+		anchors := 0
+		fmt.Println("freq_hz,r_ohm,l_h,interp")
+		for _, p := range pts {
+			interp := 0
+			if p.Interp {
+				interp = 1
+			} else {
+				anchors++
+			}
+			fmt.Printf("%g,%g,%g,%d\n", p.Freq, p.R, p.L, interp)
+		}
+		if *verb {
+			fmt.Fprintf(os.Stderr, "rlsweep: adaptive sweep: %d anchors solved, %d points interpolated (tol %g)\n",
+				anchors, len(pts)-anchors, *swtol)
+		}
+	} else {
+		fmt.Println("freq_hz,r_ohm,l_h")
+		for _, p := range pts {
+			fmt.Printf("%g,%g,%g\n", p.Freq, p.R, p.L)
+		}
 	}
 	if *verb {
 		if cs := sess.CacheStats(); cs.Enabled {
@@ -175,6 +213,10 @@ func main() {
 				}
 			}
 			for _, p := range pts {
+				if p.Interp {
+					fmt.Fprintf(os.Stderr, "rlsweep: %s: interpolated\n", units.FormatSI(p.Freq, "Hz"))
+					continue
+				}
 				fmt.Fprintf(os.Stderr, "rlsweep: %s: %d GMRES iterations\n",
 					units.FormatSI(p.Freq, "Hz"), p.Iters)
 			}

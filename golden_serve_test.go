@@ -28,7 +28,7 @@ func TestGoldenInductd(t *testing.T) {
 
 	cmd := exec.Command(filepath.Join(dir, "inductd"),
 		"-addr", "127.0.0.1:0", "-workers", "1", "-tenantworkers", "1",
-		"-queue", "4", "-cachebytes", fmt.Sprint(1<<20), "-maxpoints", "64")
+		"-queue", "4", "-cachebytes", fmt.Sprint(1<<20), "-maxpoints", "128")
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -81,22 +81,39 @@ func TestGoldenInductd(t *testing.T) {
 		return body
 	}
 
-	resp, err := client.Post(base+"/v1/sweep", "application/json", strings.NewReader(job))
-	if err != nil {
-		t.Fatal(err)
+	// The same structure swept adaptively: 96 points, most filled by the
+	// rational fit and marked "interp":true. Dense anchor solves under
+	// one worker keep the stream bit-deterministic.
+	adaptiveJob := strings.Replace(job, `"points":5`, `"points":96`, 1)
+	adaptiveJob = strings.Replace(adaptiveJob, `"kernelcache":"shared"`,
+		`"kernelcache":"shared","sweep":"adaptive","sweeptol":1e-6`, 1)
+
+	post := func(body string) []byte {
+		resp, err := client.Post(base+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /v1/sweep: status %d\n%s", resp.StatusCode, stream)
+		}
+		return stream
 	}
-	stream, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("POST /v1/sweep: status %d\n%s", resp.StatusCode, stream)
+	stream := post(job)
+	adaptiveStream := post(adaptiveJob)
+	if !bytes.Contains(adaptiveStream, []byte(`"interp":true`)) {
+		t.Fatalf("adaptive stream has no interpolated rows:\n%s", adaptiveStream)
 	}
 
 	var doc bytes.Buffer
 	doc.WriteString("== POST /v1/sweep ==\n")
 	doc.Write(stream)
+	doc.WriteString("== POST /v1/sweep (adaptive) ==\n")
+	doc.Write(adaptiveStream)
 	doc.WriteString("== GET /healthz ==\n")
 	doc.Write(get("/healthz"))
 	doc.WriteString("== GET /statz ==\n")

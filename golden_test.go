@@ -123,6 +123,15 @@ func TestGoldenRLSweep(t *testing.T) {
 	checkGolden(t, "rlsweep", runTool(t, filepath.Join(dir, "rlsweep")))
 }
 
+func TestGoldenRLSweepAdaptive(t *testing.T) {
+	dir := buildTools(t)
+	// Adaptive sweeps are deterministic: anchor selection depends only
+	// on the solved values, dense solves are bit-identical at any
+	// worker count, and the CSV carries the interp column.
+	checkGolden(t, "rlsweep_adaptive", runTool(t, filepath.Join(dir, "rlsweep"),
+		"-sweep", "adaptive", "-sweeptol", "1e-6", "-points", "96", "-workers", "2"))
+}
+
 func TestGoldenInductx(t *testing.T) {
 	dir := buildTools(t)
 	bin := filepath.Join(dir, "inductx")

@@ -15,10 +15,12 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"inductance101/internal/extract"
 	"inductance101/internal/fasthenry"
 	"inductance101/internal/sim"
+	"inductance101/internal/sweep"
 )
 
 // CachePolicy selects the kernel cache a session's extraction kernels
@@ -197,6 +199,18 @@ type Config struct {
 	// MOROrder, when positive, reduces PEEC flows with PRIMA using this
 	// many block moments. 0 = no model-order reduction.
 	MOROrder int
+	// SweepMode selects how frequency sweeps (loop extraction and AC)
+	// are solved: exact per-point solves, the adaptive rational-
+	// interpolation engine, or automatic selection by point count (the
+	// zero value, sweep.ModeAuto — adaptive at sweep.AutoThreshold
+	// requested points and exact below, which keeps every small legacy
+	// sweep bit-identical).
+	SweepMode sweep.Mode
+	// SweepTol is the adaptive engine's relative interpolation
+	// tolerance: interpolated points target |Z_fit - Z_exact| <=
+	// SweepTol*|Z_exact|. 0 = sweep.DefaultTol (1e-6); negative or NaN
+	// values are rejected by Validate.
+	SweepTol float64
 }
 
 // Validate rejects configs no layer can interpret. Zero values are
@@ -232,7 +246,23 @@ func (c Config) Validate() error {
 	if c.GridSolver < GridSolverAuto || c.GridSolver > GridSolverMG {
 		return fmt.Errorf("engine: unknown grid solver %d", int(c.GridSolver))
 	}
+	switch c.SweepMode {
+	case sweep.ModeAuto, sweep.ModeExact, sweep.ModeAdaptive:
+	default:
+		return fmt.Errorf("engine: unknown sweep mode %d", int(c.SweepMode))
+	}
+	if c.SweepTol < 0 || math.IsNaN(c.SweepTol) {
+		return fmt.Errorf("engine: sweep tolerance must be > 0, got %g", c.SweepTol)
+	}
 	return nil
+}
+
+// ParseSweepMode parses the CLI spelling of a sweep mode ("", "auto",
+// "exact", "adaptive"), rejecting unknown values with a one-line error.
+// It exists so CLIs configure sweeps entirely through engine.Config
+// without importing internal/sweep.
+func ParseSweepMode(s string) (sweep.Mode, error) {
+	return sweep.ParseMode(s)
 }
 
 // Session binds a Config to run-owned state: the kernel cache the
@@ -310,7 +340,10 @@ func (s *Session) ResetCache() { s.cache.Reset() }
 
 // SimPolicy mints the sim-layer solver policy for this run.
 func (s *Session) SimPolicy() sim.Policy {
-	return sim.Policy{Workers: s.cfg.Workers, SparseThreshold: s.cfg.SparseThreshold}
+	return sim.Policy{
+		Workers: s.cfg.Workers, SparseThreshold: s.cfg.SparseThreshold,
+		SweepMode: s.cfg.SweepMode, SweepTol: s.cfg.SweepTol,
+	}
 }
 
 // ExtractOptions mints a full-layout extraction option set: the
@@ -328,10 +361,12 @@ func (s *Session) ExtractOptions() extract.Options {
 // discretization fields (NW/NT/MaxPerSide/Rho) per extraction.
 func (s *Session) SolverOptions() fasthenry.Options {
 	return fasthenry.Options{
-		Mode:    s.cfg.SolveMode,
-		ACATol:  s.cfg.ACATol,
-		Precond: s.cfg.Precond,
-		Cache:   s.cache,
-		Workers: s.cfg.Workers,
+		Mode:      s.cfg.SolveMode,
+		ACATol:    s.cfg.ACATol,
+		Precond:   s.cfg.Precond,
+		Cache:     s.cache,
+		Workers:   s.cfg.Workers,
+		SweepMode: s.cfg.SweepMode,
+		SweepTol:  s.cfg.SweepTol,
 	}
 }

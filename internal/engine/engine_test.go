@@ -3,12 +3,14 @@ package engine
 import (
 	"context"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 	"time"
 
 	"inductance101/internal/extract"
 	"inductance101/internal/fasthenry"
+	"inductance101/internal/sweep"
 )
 
 func TestZeroConfigInheritsDefaults(t *testing.T) {
@@ -40,6 +42,9 @@ func TestConfigValidate(t *testing.T) {
 		{Cache: CachePrivate, CacheBytes: -4096},
 		{GridSolver: GridSolver(-1)},
 		{GridSolver: GridSolverMG + 1},
+		{SweepMode: sweep.Mode(9)},
+		{SweepTol: -1e-6},
+		{SweepTol: math.NaN()},
 	}
 	for _, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
@@ -57,11 +62,37 @@ func TestConfigValidate(t *testing.T) {
 		{Precond: fasthenry.PrecondSAI},
 		{SolveMode: fasthenry.ModeNested, Precond: fasthenry.PrecondSAI},
 		{Cache: CachePrivate, CacheBytes: 1 << 20}, // zero CacheBytes = unbounded, positive = cap
+		{SweepMode: sweep.ModeAdaptive, SweepTol: 1e-8},
+		{SweepMode: sweep.ModeExact},
 	}
 	for _, cfg := range good {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("Validate rejected good config %+v: %v", cfg, err)
 		}
+	}
+}
+
+// TestSweepConfigPlumbing pins that the sweep settings reach both
+// consumers: the fasthenry solver options and the sim policy.
+func TestSweepConfigPlumbing(t *testing.T) {
+	s := New(Config{SweepMode: sweep.ModeAdaptive, SweepTol: 1e-7})
+	if opt := s.SolverOptions(); opt.SweepMode != sweep.ModeAdaptive || opt.SweepTol != 1e-7 {
+		t.Errorf("SolverOptions dropped sweep config: %+v", opt)
+	}
+	if pol := s.SimPolicy(); pol.SweepMode != sweep.ModeAdaptive || pol.SweepTol != 1e-7 {
+		t.Errorf("SimPolicy dropped sweep config: %+v", pol)
+	}
+	for _, tc := range []struct {
+		in   string
+		want sweep.Mode
+	}{{"", sweep.ModeAuto}, {"auto", sweep.ModeAuto}, {"exact", sweep.ModeExact}, {"adaptive", sweep.ModeAdaptive}} {
+		m, err := ParseSweepMode(tc.in)
+		if err != nil || m != tc.want {
+			t.Errorf("ParseSweepMode(%q) = %v, %v", tc.in, m, err)
+		}
+	}
+	if _, err := ParseSweepMode("spline"); err == nil {
+		t.Error("ParseSweepMode accepted unknown mode")
 	}
 }
 

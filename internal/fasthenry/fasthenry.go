@@ -23,6 +23,7 @@ import (
 	"inductance101/internal/extract"
 	"inductance101/internal/geom"
 	"inductance101/internal/matrix"
+	"inductance101/internal/sweep"
 	"inductance101/internal/units"
 )
 
@@ -62,6 +63,18 @@ type Options struct {
 	// Workers caps the sweep fan-out and dense-kernel goroutines.
 	// 0 = process default (matrix.Workers), 1 = fully serial.
 	Workers int
+	// SweepMode selects exact per-point solves, the adaptive
+	// anchor-and-fit engine, or auto (adaptive at sweep.AutoThreshold
+	// requested points). The zero value is sweep.ModeAuto.
+	SweepMode sweep.Mode
+	// SweepTol is the adaptive engine's relative interpolation
+	// tolerance (0 = sweep.DefaultTol).
+	SweepTol float64
+	// RecycleDim caps the Krylov recycling space the adaptive anchor
+	// solves carry between frequencies on the iterative paths.
+	// 0 = matrix.DefaultRecycleDim; negative disables recycling
+	// (warm starts only).
+	RecycleDim int
 }
 
 func (o Options) maxPerSide() int {
@@ -110,6 +123,10 @@ type Solver struct {
 	precond Precond
 	cache   extract.CacheRef
 	workers int
+
+	sweepMode  sweep.Mode
+	sweepTol   float64
+	recycleDim int
 
 	opOnce sync.Once
 	op     extract.LOperator // compressed partial inductance (lazy)
@@ -213,6 +230,8 @@ func NewSolver(l *geom.Layout, segs []int, port Port, shorts [][2]string, fRef f
 		nNodes: len(nodeID), plus: plus, minus: minus,
 		mode: opt.Mode, acaTol: opt.ACATol, precond: opt.Precond,
 		cache: opt.Cache, workers: opt.Workers,
+		sweepMode: opt.SweepMode, sweepTol: opt.SweepTol,
+		recycleDim: opt.RecycleDim,
 	}, nil
 }
 
@@ -310,7 +329,7 @@ func (s *Solver) nodeRow(n int) int {
 // compressed partial-inductance operator.
 func (s *Solver) Impedance(f float64) (complex128, error) {
 	if s.iterativeMode() {
-		z, _, err := s.impedanceIterative(f, nil)
+		z, _, err := s.impedanceIterative(f, nil, nil)
 		return z, err
 	}
 	return s.impedanceDense(f)
@@ -418,8 +437,11 @@ type Point struct {
 	R    float64
 	L    float64
 	// Iters is the total GMRES iteration count across the point's nodal
-	// solves (zero on the dense path).
+	// solves (zero on the dense path and on interpolated points).
 	Iters int
+	// Interp marks a point filled by the adaptive sweep's rational
+	// interpolant instead of an exact solve.
+	Interp bool
 }
 
 // Sweep extracts the port impedance at each frequency. Points are

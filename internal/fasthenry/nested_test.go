@@ -53,7 +53,7 @@ func TestNestedMatchesDense(t *testing.T) {
 				if err != nil {
 					t.Fatalf("dense at %g: %v", f, err)
 				}
-				zn, it, err := nested.impedanceIterative(f, nil)
+				zn, it, err := nested.impedanceIterative(f, nil, nil)
 				if err != nil {
 					t.Fatalf("nested at %g: %v", f, err)
 				}
@@ -122,7 +122,7 @@ func TestSAIMatchesDense(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			zs, it, err := sai.impedanceIterative(f, nil)
+			zs, it, err := sai.impedanceIterative(f, nil, nil)
 			if err != nil {
 				t.Fatalf("%v+sai at %g: %v", mode, f, err)
 			}

@@ -388,9 +388,12 @@ func (s *Solver) precondApply(op extract.LOperator, omega float64) func(dst, src
 // restarted, right-preconditioned GMRES through the compressed
 // operator. warm, when non-nil, holds one previous branch-current
 // solution per reduced node (a frequency sweep's warm starts); entries
-// are updated in place. It returns the impedance and the total GMRES
-// iterations across the nodal solves.
-func (s *Solver) impedanceIterative(f float64, warm [][]complex128) (complex128, int, error) {
+// are updated in place. rs, when non-nil, is a Krylov recycling space
+// carried across an adaptive sweep's anchor solves: it is invalidated
+// once for this frequency's operator and then shared by all the nodal
+// solves, which re-project it exactly once. It returns the impedance
+// and the total GMRES iterations across the nodal solves.
+func (s *Solver) impedanceIterative(f float64, warm [][]complex128, rs *matrix.RecycleSpace) (complex128, int, error) {
 	op := s.compressedOp()
 	omega := 2 * math.Pi * f
 	pre := s.precondApply(op, omega)
@@ -400,6 +403,7 @@ func (s *Solver) impedanceIterative(f float64, warm [][]complex128) (complex128,
 	y := matrix.NewCDense(nn, nn)
 	col := make([]complex128, nf)
 	iters := 0
+	rs.Invalidate()
 	for k := 0; k < nn; k++ {
 		s.incidenceColumn(col, k)
 		opt := matrix.GMRESOptions{
@@ -410,7 +414,7 @@ func (s *Solver) impedanceIterative(f float64, warm [][]complex128) (complex128,
 		if warm != nil && warm[k] != nil {
 			opt.X0 = warm[k]
 		}
-		w, res, err := matrix.GMRES(zop, col, opt)
+		w, res, err := matrix.GMRESRecycled(zop, col, opt, rs)
 		if err != nil {
 			return 0, iters, fmt.Errorf("fasthenry: GMRES at %g Hz: %w", f, err)
 		}

@@ -80,6 +80,14 @@ type IterResult struct {
 	Residual float64
 	// Converged reports whether Residual reached the tolerance.
 	Converged bool
+	// RecycledDim is the deflation-space dimension a GMRESRecycled solve
+	// ran with (zero for plain solves or an empty recycle space).
+	RecycledDim int
+	// RecycleApplies counts the extra operator applications spent
+	// re-projecting the recycled basis through this solve's operator;
+	// the net iteration saving of recycling is the drop in Iters minus
+	// this overhead.
+	RecycleApplies int
 }
 
 // GMRESOptions tunes the restarted GMRES solve.

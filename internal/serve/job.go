@@ -70,6 +70,8 @@ type jobConfigJSON struct {
 	ACATol      float64 `json:"acatol,omitempty"`      // 0 = default
 	Workers     int     `json:"workers,omitempty"`     // 0 = 1; clamped to the tenant budget
 	KernelCache string  `json:"kernelcache,omitempty"` // shared | private | off (default shared)
+	Sweep       string  `json:"sweep,omitempty"`       // exact | adaptive | auto (default auto)
+	SweepTol    float64 `json:"sweeptol,omitempty"`    // 0 = default (1e-6)
 }
 
 // job is a decoded, validated request ready to schedule.
@@ -207,6 +209,15 @@ func decodeJob(r io.Reader, lim Limits, tenantBudget int) (*job, error) {
 	if cfg.Workers > tenantBudget {
 		cfg.Workers = tenantBudget
 	}
+	sm, err := engine.ParseSweepMode(doc.Config.Sweep)
+	if err != nil {
+		return nil, err
+	}
+	cfg.SweepMode = sm
+	if !isFinite(doc.Config.SweepTol) || doc.Config.SweepTol < 0 {
+		return nil, fmt.Errorf("sweeptol %g must be a finite non-negative tolerance", doc.Config.SweepTol)
+	}
+	cfg.SweepTol = doc.Config.SweepTol
 	switch doc.Config.KernelCache {
 	case "", "shared":
 		j.kernelCache = "shared"

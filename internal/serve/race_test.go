@@ -143,6 +143,9 @@ func TestClientDisconnectFreesWorkers(t *testing.T) {
 			j.Port = portJSON{Plus: "s0", Minus: "g1a"}
 			j.Shorts = busShorts(12)
 			j.Points = 256
+			// Pin the per-point streaming path: auto would adapt at this
+			// point count and buffer the sweep before streaming.
+			j.Config.Sweep = "exact"
 		})
 	}
 

@@ -199,12 +199,15 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	_ = enc.Encode(errorJSON{Error: msg})
 }
 
-// pointJSON is one NDJSON stream line: a completed sweep point.
+// pointJSON is one NDJSON stream line: a completed sweep point. Interp
+// marks rows an adaptive sweep filled from the rational interpolant
+// rather than a solve.
 type pointJSON struct {
 	FreqHz float64 `json:"freq_hz"`
 	ROhm   float64 `json:"r_ohm"`
 	LH     float64 `json:"l_h"`
 	Iters  int     `json:"iters,omitempty"`
+	Interp bool    `json:"interp,omitempty"`
 }
 
 // doneJSON is the stream's final line; its presence tells the client
@@ -300,6 +303,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	streamed := 0
 	err = pl.Run(ctx, "sweep", func(ctx context.Context) (string, error) {
+		writePoint := func(p fasthenry.Point) error {
+			if err := enc.Encode(pointJSON{
+				FreqHz: p.Freq, ROhm: p.R, LH: p.L, Iters: p.Iters, Interp: p.Interp,
+			}); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			streamed++
+			s.points.Add(1)
+			return nil
+		}
+		if jb.cfg.SweepMode.Adapt(len(jb.freqs)) {
+			// Adaptive sweeps solve only the anchor frequencies the
+			// rational fit requests, so rows cannot stream point by
+			// point; the whole sweep (cancellable between anchor solves
+			// via ctx) runs first, then streams.
+			pts, err := solver.SweepParallelCtx(ctx, jb.freqs, jb.cfg.Workers)
+			if err != nil {
+				return "", err
+			}
+			for _, p := range pts {
+				if err := writePoint(p); err != nil {
+					return "", err
+				}
+			}
+			return fmt.Sprintf("%d points", streamed), nil
+		}
 		for _, f := range jb.freqs {
 			if err := ctx.Err(); err != nil {
 				return fmt.Sprintf("%d/%d points", streamed, len(jb.freqs)), err
@@ -308,15 +340,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return "", err
 			}
-			p := pts[0]
-			if err := enc.Encode(pointJSON{FreqHz: p.Freq, ROhm: p.R, LH: p.L, Iters: p.Iters}); err != nil {
+			if err := writePoint(pts[0]); err != nil {
 				return "", err
 			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-			streamed++
-			s.points.Add(1)
 		}
 		return fmt.Sprintf("%d points", streamed), nil
 	})

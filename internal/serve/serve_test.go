@@ -163,6 +163,50 @@ func TestSweepEndToEnd(t *testing.T) {
 	}
 }
 
+// TestAdaptiveSweepStream runs the same job in exact and adaptive sweep
+// modes: the adaptive stream must return every requested row, mark a
+// majority of them interp, and agree with the exact rows within the
+// sweep tolerance.
+func TestAdaptiveSweepStream(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, MaxPoints: 256})
+	const n = 96
+	body := func(mode string) []byte {
+		return testJob(t, func(j *jobJSON) {
+			j.Points = n
+			j.Config.Sweep = mode
+			j.Config.SweepTol = 1e-6
+		})
+	}
+	code, exact := postJob(t, ts.URL, body("exact"))
+	if code != http.StatusOK || len(exact.points) != n || exact.done == nil {
+		t.Fatalf("exact job: status %d, stream %+v", code, exact)
+	}
+	for _, p := range exact.points {
+		if p.Interp {
+			t.Fatal("exact sweep streamed an interpolated row")
+		}
+	}
+	code, adaptive := postJob(t, ts.URL, body("adaptive"))
+	if code != http.StatusOK || len(adaptive.points) != n || adaptive.done == nil {
+		t.Fatalf("adaptive job: status %d, stream %+v", code, adaptive)
+	}
+	interp := 0
+	for i, p := range adaptive.points {
+		if p.Interp {
+			interp++
+		}
+		if p.FreqHz != exact.points[i].FreqHz {
+			t.Fatalf("row %d: frequency %g vs exact %g", i, p.FreqHz, exact.points[i].FreqHz)
+		}
+		if e := math.Abs(p.LH-exact.points[i].LH) / math.Abs(exact.points[i].LH); e > 1e-4 {
+			t.Errorf("row %d: L deviates %.3g from exact", i, e)
+		}
+	}
+	if interp < n/2 {
+		t.Errorf("adaptive stream marked only %d of %d rows interp", interp, n)
+	}
+}
+
 // TestRejectsStructured400 pins the error contract: malformed or
 // out-of-limit jobs get a JSON {"error": ...} body and a 400, and the
 // message names the offending value.
@@ -187,6 +231,8 @@ func TestRejectsStructured400(t *testing.T) {
 		{"absurd-length", testJob(t, func(j *jobJSON) { j.Layout.Segments[0].Length = 5e3 }), "length"},
 		{"no-port", testJob(t, func(j *jobJSON) { j.Port = portJSON{} }), "port"},
 		{"unknown-port-node", testJob(t, func(j *jobJSON) { j.Port.Plus = "nope" }), "nope"},
+		{"bad-sweep-mode", testJob(t, func(j *jobJSON) { j.Config.Sweep = "spline" }), "spline"},
+		{"bad-sweeptol", testJob(t, func(j *jobJSON) { j.Config.SweepTol = -1e-6 }), "sweeptol"},
 	}
 	for _, tc := range cases {
 		tc := tc

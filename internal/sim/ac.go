@@ -8,6 +8,7 @@ import (
 
 	"inductance101/internal/circuit"
 	"inductance101/internal/matrix"
+	"inductance101/internal/sweep"
 )
 
 // ACStimulus names the sources to excite in an AC analysis with unit
@@ -215,10 +216,12 @@ func AC(m *circuit.MNA, omega float64, stim ACStimulus) ([]complex128, error) {
 	return buildACPattern(m).solve(m.N, omega, stim)
 }
 
-// ACPoint is one row of a frequency sweep.
+// ACPoint is one row of a frequency sweep. Interp marks points filled
+// by the adaptive sweep's rational interpolant instead of a solve.
 type ACPoint struct {
-	Freq float64
-	V    complex128
+	Freq   float64
+	V      complex128
+	Interp bool
 }
 
 // ACSweep runs AC at logarithmically spaced frequencies from fStart to
@@ -233,8 +236,12 @@ func ACSweep(n *circuit.Netlist, probe string, stim ACStimulus, fStart, fStop fl
 // sparsity pattern is extracted once and the frequency points —
 // independent complex solves — run in parallel (the policy's worker
 // count, or matrix.SetWorkers when unset, controls the fan-out).
-// Results are bit-identical to the serial sweep: each point is one
-// self-contained solve.
+// Under pol.SweepMode exact (and auto below sweep.AutoThreshold
+// points) results are bit-identical to the serial sweep: each point is
+// one self-contained solve. Under adaptive (or auto at enough points)
+// only the anchor frequencies the rational fit requests are solved and
+// the rest are interpolated within pol.SweepTol (ACPoint.Interp marks
+// them).
 func ACSweepPolicy(n *circuit.Netlist, probe string, stim ACStimulus, fStart, fStop float64, pointsPerDecade int, pol Policy) ([]ACPoint, error) {
 	if fStart <= 0 || fStop <= fStart {
 		return nil, fmt.Errorf("sim: bad AC sweep range [%g, %g]", fStart, fStop)
@@ -256,27 +263,76 @@ func ACSweepPolicy(n *circuit.Netlist, probe string, stim ACStimulus, fStart, fS
 	}
 	decades := math.Log10(fStop / fStart)
 	nPts := int(decades*float64(pointsPerDecade)) + 1
-	out := make([]ACPoint, nPts+1)
-	errs := make([]error, nPts+1)
-	matrix.ParallelRangeWorkers(pol.Workers, nPts+1, 1, func(lo, hi int) {
+	fs := make([]float64, nPts+1)
+	for k := range fs {
+		fs[k] = fStart * math.Pow(10, decades*float64(k)/float64(nPts))
+	}
+
+	solveAt := func(k int) (complex128, error) {
+		x, err := pat.solve(n, 2*math.Pi*fs[k], stim)
+		if err != nil {
+			return 0, fmt.Errorf("sim: AC at %g Hz: %w", fs[k], err)
+		}
+		if idx >= 0 {
+			return x[idx], nil
+		}
+		return 0, nil
+	}
+
+	if pol.SweepMode.Adapt(len(fs)) {
+		return acSweepAdaptive(fs, pol, solveAt)
+	}
+
+	out := make([]ACPoint, len(fs))
+	errs := make([]error, len(fs))
+	matrix.ParallelRangeWorkers(pol.Workers, len(fs), 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
-			f := fStart * math.Pow(10, decades*float64(k)/float64(nPts))
-			x, err := pat.solve(n, 2*math.Pi*f, stim)
+			v, err := solveAt(k)
 			if err != nil {
-				errs[k] = fmt.Errorf("sim: AC at %g Hz: %w", f, err)
+				errs[k] = err
 				return
 			}
-			v := complex(0, 0)
-			if idx >= 0 {
-				v = x[idx]
-			}
-			out[k] = ACPoint{Freq: f, V: v}
+			out[k] = ACPoint{Freq: fs[k], V: v}
 		}
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	return out, nil
+}
+
+// acSweepAdaptive runs the anchor-and-fit engine over an ascending AC
+// grid: anchor batches fan out under the policy's worker count, the
+// remaining probe voltages come from the cross-validated rational
+// interpolant.
+func acSweepAdaptive(fs []float64, pol Policy, solveAt func(k int) (complex128, error)) ([]ACPoint, error) {
+	batch := func(idxs []int) ([]complex128, error) {
+		vals := make([]complex128, len(idxs))
+		errs := make([]error, len(idxs))
+		matrix.ParallelRangeWorkers(pol.Workers, len(idxs), 1, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				vals[k], errs[k] = solveAt(idxs[k])
+				if errs[k] != nil {
+					return
+				}
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return vals, nil
+	}
+	res, err := sweep.Adaptive(fs, sweep.Options{Tol: pol.SweepTol}, batch)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ACPoint, len(fs))
+	for k := range fs {
+		out[k] = ACPoint{Freq: fs[k], V: res.Values[k], Interp: !res.Solved[k]}
 	}
 	return out, nil
 }

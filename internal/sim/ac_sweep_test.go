@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"inductance101/internal/circuit"
+	"inductance101/internal/sweep"
+)
+
+// TestACSweepAdaptiveMatchesExact is the AC-path property: for
+// randomized RLC netlists the adaptive sweep agrees with the exact sweep
+// within the sweep tolerance at every frequency, actually interpolates
+// most points, and marks them.
+func TestACSweepAdaptiveMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const tol = 1e-6
+	for trial := 0; trial < 5; trial++ {
+		nodes := 4 + rng.Intn(12)
+		n := randRLC(rng, nodes)
+		probe := fmt.Sprintf("n%d", nodes)
+		stim := ACStimulus{VSourceAmps: map[int]complex128{0: 1}}
+		ppd := 30 + rng.Intn(40)
+		exact, err := ACSweepPolicy(n, probe, stim, 1e6, 1e11, ppd,
+			Policy{SweepMode: sweep.ModeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptive, err := ACSweepPolicy(n, probe, stim, 1e6, 1e11, ppd,
+			Policy{SweepMode: sweep.ModeAdaptive, SweepTol: tol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(adaptive) != len(exact) {
+			t.Fatalf("trial %d: %d adaptive vs %d exact points", trial, len(adaptive), len(exact))
+		}
+		// Probe voltages of a passive divider can pass through deep
+		// nulls; error is relative to the sweep's response scale.
+		scale := 0.0
+		for _, p := range exact {
+			if a := cmplx.Abs(p.V); a > scale {
+				scale = a
+			}
+		}
+		interp := 0
+		for k := range exact {
+			if adaptive[k].Freq != exact[k].Freq {
+				t.Fatalf("trial %d: frequency grids diverged at %d", trial, k)
+			}
+			if adaptive[k].Interp {
+				interp++
+			} else if adaptive[k].V != exact[k].V {
+				t.Fatalf("trial %d: solved point %d differs from exact", trial, k)
+			}
+			if e := cmplx.Abs(adaptive[k].V-exact[k].V) / scale; e > 10*tol {
+				t.Fatalf("trial %d point %d (%g Hz): deviation %.3g", trial, k, exact[k].Freq, e)
+			}
+		}
+		if interp < len(exact)/2 {
+			t.Fatalf("trial %d: only %d of %d points interpolated — no win", trial, interp, len(exact))
+		}
+	}
+}
+
+// TestACSweepAdaptiveResonance drives the adaptive sweep through a
+// high-Q series resonance: the rational fit must reproduce the peak, not
+// smooth over it.
+func TestACSweepAdaptiveResonance(t *testing.T) {
+	n := circuit.New()
+	vi := n.AddV("v", "in", "0", circuit.DC(0))
+	n.AddR("r", "in", "mid", 2.0)
+	n.AddL("l", "mid", "out", 100e-9)
+	n.AddC("c", "out", "0", 10e-12)
+	n.AddR("rload", "out", "0", 1e6)
+	stim := ACStimulus{VSourceAmps: map[int]complex128{vi: 1}}
+	const tol = 1e-6
+	exact, err := ACSweepPolicy(n, "out", stim, 1e6, 1e9, 80,
+		Policy{SweepMode: sweep.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := ACSweepPolicy(n, "out", stim, 1e6, 1e9, 80,
+		Policy{SweepMode: sweep.ModeAdaptive, SweepTol: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, p := range exact {
+		if a := cmplx.Abs(p.V); a > peak {
+			peak = a
+		}
+	}
+	if peak < 10 {
+		t.Fatalf("resonance not sharp enough to test (peak %g)", peak)
+	}
+	for k := range exact {
+		if e := cmplx.Abs(adaptive[k].V-exact[k].V) / cmplx.Abs(exact[k].V); e > 10*tol {
+			t.Fatalf("point %d (%g Hz): deviation %.3g near resonance", k, exact[k].Freq, e)
+		}
+	}
+}
+
+// TestACSweepAutoMatchesLegacy pins the compatibility contract: the
+// default (auto) policy below the threshold is bit-identical to the
+// exact sweep, and a bad tolerance fails fast.
+func TestACSweepAutoMatchesLegacy(t *testing.T) {
+	n := circuit.New()
+	vi := n.AddV("v", "in", "0", circuit.DC(0))
+	n.AddR("r", "in", "out", 1000)
+	n.AddC("c", "out", "0", 1e-12)
+	stim := ACStimulus{VSourceAmps: map[int]complex128{vi: 1}}
+	legacy, err := ACSweep(n, "out", stim, 1e6, 1e9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := ACSweepPolicy(n, "out", stim, 1e6, 1e9, 10, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range legacy {
+		if auto[k] != legacy[k] {
+			t.Fatalf("auto point %d diverged from legacy exact sweep", k)
+		}
+		if auto[k].Interp {
+			t.Fatalf("short auto sweep interpolated point %d", k)
+		}
+	}
+	if _, err := ACSweepPolicy(n, "out", stim, 1e6, 1e9, 40,
+		Policy{SweepMode: sweep.ModeAdaptive, SweepTol: math.NaN()}); err == nil {
+		t.Fatal("NaN sweep tolerance accepted")
+	}
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "inductance101/internal/matrix"
+import (
+	"inductance101/internal/matrix"
+	"inductance101/internal/sweep"
+)
 
 // Policy pins the linear-solver resources of one analysis run: how many
 // goroutines the dense/sparse kernels may use, and where the simulator
@@ -25,6 +28,13 @@ type Policy struct {
 	// inherits the process default (SetSparseThreshold), < 0 forces the
 	// dense path at every size.
 	SparseThreshold int
+	// SweepMode selects exact per-point AC sweeps, the adaptive
+	// rational-interpolation engine, or automatic selection by point
+	// count (the zero value, sweep.ModeAuto).
+	SweepMode sweep.Mode
+	// SweepTol is the adaptive engine's relative interpolation
+	// tolerance (0 = sweep.DefaultTol).
+	SweepTol float64
 }
 
 // sparseAt reports whether a system of the given size takes the sparse

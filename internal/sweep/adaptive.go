@@ -1,0 +1,287 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Options tunes the adaptive engine. The zero value means defaults.
+type Options struct {
+	// Tol is the relative interpolation tolerance (0 = DefaultTol).
+	// Interpolated values target |r(f) - exact(f)| <= Tol * |exact(f)|.
+	Tol float64
+	// MinAnchors is the initial uniformly spread anchor count (0 = 9).
+	MinAnchors int
+	// MaxAnchors caps the anchor solves before the engine gives up and
+	// falls back to exact per-point solves (0 = len(fs)/4 clamped to
+	// [2*MinAnchors, 64]).
+	MaxAnchors int
+}
+
+// Result is an adaptive sweep outcome. Values holds the response at
+// every requested frequency, exact where Solved is true and rational-
+// interpolated elsewhere.
+type Result struct {
+	Values []complex128
+	Solved []bool
+	// Anchors counts the exact solves the fit itself requested (in a
+	// fallback the remaining points are solved too, but were never
+	// anchors).
+	Anchors int
+	// AnchorIdx lists the anchor indices in solve order — diagnostics
+	// for verbose CLIs and benches.
+	AnchorIdx []int
+	// Fallback reports that the response refused to fit (or the sweep
+	// was too short to bother) and every point was solved exactly.
+	Fallback bool
+	// MaxCV is the final cross-validated relative error estimate the
+	// fit was accepted at (0 when Fallback).
+	MaxCV float64
+}
+
+// cvSafety shrinks the acceptance threshold below the user tolerance:
+// the cross-validation residual is an estimate, not a bound.
+const cvSafety = 0.5
+
+// Adaptive sweeps the ascending frequencies fs by solving a few anchor
+// points exactly — through solve, which receives indices into fs and
+// returns the exact complex response at each — and fitting a barycentric
+// rational interpolant over them. The refine loop evaluates two fits
+// (one trained on all anchors, one on half) everywhere, solves a new
+// anchor where they disagree most, and accepts once the worst
+// cross-validated relative residual is safely below opt.Tol. Sweeps too
+// short to amortize the fit, and responses that still disagree at
+// MaxAnchors anchors, are solved exactly point by point (Fallback).
+func Adaptive(fs []float64, opt Options, solve func(idxs []int) ([]complex128, error)) (Result, error) {
+	n := len(fs)
+	res := Result{Values: make([]complex128, n), Solved: make([]bool, n)}
+	if n == 0 {
+		return res, nil
+	}
+	for i := 1; i < n; i++ {
+		if fs[i] < fs[i-1] {
+			return res, fmt.Errorf("sweep: frequencies not in ascending order")
+		}
+	}
+	tol := opt.Tol
+	if tol == 0 {
+		tol = DefaultTol
+	}
+	if tol < 0 || math.IsNaN(tol) {
+		return res, fmt.Errorf("sweep: tolerance must be > 0, got %g", opt.Tol)
+	}
+
+	// Representatives: duplicate frequencies share one solve/fit slot.
+	rep := make([]int, n)
+	uniq := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 && fs[i] == fs[i-1] {
+			rep[i] = rep[i-1]
+			continue
+		}
+		rep[i] = i
+		uniq = append(uniq, i)
+	}
+
+	minA := opt.MinAnchors
+	if minA <= 0 {
+		minA = 9
+	}
+	if minA < 3 {
+		minA = 3
+	}
+	maxA := opt.MaxAnchors
+	if maxA <= 0 {
+		maxA = len(uniq) / 4
+		if maxA < 2*minA {
+			maxA = 2 * minA
+		}
+		if maxA > 64 {
+			maxA = 64
+		}
+	}
+
+	solveAll := func() (Result, error) {
+		vals, err := solve(uniq)
+		if err != nil {
+			return res, err
+		}
+		if len(vals) != len(uniq) {
+			return res, fmt.Errorf("sweep: solver returned %d values for %d points", len(vals), len(uniq))
+		}
+		for k, i := range uniq {
+			res.Values[i] = vals[k]
+			res.Solved[i] = true
+		}
+		expand(res.Values, res.Solved, rep)
+		res.Fallback = true
+		return res, nil
+	}
+	if len(uniq) < 2*minA {
+		return solveAll()
+	}
+
+	fmax := fs[n-1]
+	if fmax == 0 {
+		fmax = 1
+	}
+	zOf := func(i int) complex128 { return complex(fs[i]/fmax, 0) }
+
+	// Initial anchors: uniform over the unique points, endpoints
+	// included so the fit never extrapolates.
+	solvedSet := make(map[int]bool, maxA)
+	var order []int
+	for k := 0; k < minA; k++ {
+		i := uniq[k*(len(uniq)-1)/(minA-1)]
+		if !solvedSet[i] {
+			solvedSet[i] = true
+			order = append(order, i)
+		}
+	}
+	vals := make(map[int]complex128, maxA)
+	doSolve := func(idxs []int) error {
+		out, err := solve(idxs)
+		if err != nil {
+			return err
+		}
+		if len(out) != len(idxs) {
+			return fmt.Errorf("sweep: solver returned %d values for %d points", len(out), len(idxs))
+		}
+		for k, i := range idxs {
+			vals[i] = out[k]
+		}
+		return nil
+	}
+	if err := doSolve(order); err != nil {
+		return res, err
+	}
+
+	var ft *fit
+	for {
+		solved := make([]int, 0, len(vals))
+		for i := range vals {
+			solved = append(solved, i)
+		}
+		sort.Ints(solved)
+		zs := make([]complex128, len(solved))
+		vv := make([]complex128, len(solved))
+		fscale := 0.0
+		for k, i := range solved {
+			zs[k], vv[k] = zOf(i), vals[i]
+			if a := cmplx.Abs(vv[k]); a > fscale {
+				fscale = a
+			}
+		}
+		floor := fscale * 1e-12
+		innerTol := tol * cvSafety * 0.2
+
+		ft, _ = aaaFit(zs, vv, innerTol, 40)
+		// Cross-validation fit: trained on alternate anchors only, so
+		// its agreement with the full fit on the held-out anchors and
+		// the unsolved points measures real generalization.
+		tz := make([]complex128, 0, (len(solved)+1)/2)
+		tv := make([]complex128, 0, (len(solved)+1)/2)
+		for k := range solved {
+			if k%2 == 0 || k == len(solved)-1 {
+				tz = append(tz, zs[k])
+				tv = append(tv, vv[k])
+			}
+		}
+		ft2, _ := aaaFit(tz, tv, innerTol, 40)
+
+		maxCV, next, nextErr := 0.0, -1, 0.0
+		for k, i := range solved {
+			if k%2 == 0 || k == len(solved)-1 {
+				continue
+			}
+			e := relErr(ft2.eval(zs[k]), vals[i], floor)
+			if e > maxCV {
+				maxCV = e
+			}
+		}
+		for _, i := range uniq {
+			if _, ok := vals[i]; ok {
+				continue
+			}
+			z := zOf(i)
+			v1 := ft.eval(z)
+			e := relErr(v1, ft2.eval(z), floor)
+			if e > maxCV {
+				maxCV = e
+			}
+			if e > nextErr {
+				next, nextErr = i, e
+			}
+		}
+		res.MaxCV = maxCV
+		if maxCV <= tol*cvSafety || next < 0 {
+			break
+		}
+		if len(vals) >= maxA {
+			res.Anchors = len(vals)
+			res.AnchorIdx = order
+			rest := make([]int, 0, len(uniq)-len(vals))
+			for _, i := range uniq {
+				if _, ok := vals[i]; !ok {
+					rest = append(rest, i)
+				}
+			}
+			if err := doSolve(rest); err != nil {
+				return res, err
+			}
+			for i, v := range vals {
+				res.Values[i] = v
+				res.Solved[i] = true
+			}
+			expand(res.Values, res.Solved, rep)
+			res.Fallback = true
+			res.MaxCV = 0
+			return res, nil
+		}
+		if err := doSolve([]int{next}); err != nil {
+			return res, err
+		}
+		order = append(order, next)
+	}
+
+	res.Anchors = len(vals)
+	res.AnchorIdx = order
+	for i, v := range vals {
+		res.Values[i] = v
+		res.Solved[i] = true
+	}
+	for _, i := range uniq {
+		if !res.Solved[i] {
+			res.Values[i] = ft.eval(zOf(i))
+		}
+	}
+	expand(res.Values, res.Solved, rep)
+	return res, nil
+}
+
+func relErr(got, want complex128, floor float64) float64 {
+	den := cmplx.Abs(want)
+	if den < floor {
+		den = floor
+	}
+	if den == 0 {
+		return 0
+	}
+	e := cmplx.Abs(got-want) / den
+	if math.IsNaN(e) {
+		return math.Inf(1)
+	}
+	return e
+}
+
+// expand copies representative values onto duplicate-frequency slots.
+func expand(values []complex128, solved []bool, rep []int) {
+	for i, r := range rep {
+		if r != i {
+			values[i] = values[r]
+			solved[i] = solved[r]
+		}
+	}
+}

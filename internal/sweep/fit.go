@@ -1,0 +1,173 @@
+package sweep
+
+import (
+	"math"
+	"math/cmplx"
+
+	"inductance101/internal/matrix"
+)
+
+// fit is a barycentric rational interpolant r(z) = N(z)/D(z) with
+// support nodes z, values f and weights w. By construction r(z_k) = f_k
+// for any nonzero weights; the weight choice picks which rational
+// function passes through the nodes.
+type fit struct {
+	z, f, w []complex128
+}
+
+func (ft *fit) eval(z complex128) complex128 {
+	var num, den complex128
+	for k := range ft.z {
+		d := z - ft.z[k]
+		if d == 0 {
+			return ft.f[k]
+		}
+		t := ft.w[k] / d
+		num += t * ft.f[k]
+		den += t
+	}
+	if den == 0 {
+		return cmplx.Inf()
+	}
+	return num / den
+}
+
+// aaaFit builds an AAA rational approximation of the samples (zs, vs):
+// support points are chosen greedily at the worst-fit sample, and after
+// each addition the barycentric weights are recomputed as the smallest
+// singular vector of the Loewner matrix over the remaining (non-support)
+// samples — the standard AAA least-squares linearization. The loop stops
+// when the residual on the non-support samples drops below tol relative
+// to the largest sample magnitude, or maxSupport is reached. ok reports
+// whether that residual target was met.
+func aaaFit(zs, vs []complex128, tol float64, maxSupport int) (ft *fit, ok bool) {
+	n := len(zs)
+	if maxSupport >= n {
+		maxSupport = n - 1
+	}
+	fscale := 0.0
+	var mean complex128
+	for _, v := range vs {
+		if a := cmplx.Abs(v); a > fscale {
+			fscale = a
+		}
+		mean += v
+	}
+	mean /= complex(float64(n), 0)
+	if fscale == 0 {
+		// Identically zero response: a constant fit is exact.
+		return &fit{z: zs[:1], f: vs[:1], w: []complex128{1}}, true
+	}
+
+	ft = &fit{}
+	inSupport := make([]bool, n)
+	// Residual of the current fit at every sample; the constant mean
+	// seeds the first pick.
+	resid := make([]float64, n)
+	for i, v := range vs {
+		resid[i] = cmplx.Abs(v - mean)
+	}
+	for len(ft.z) < maxSupport {
+		worst, werr := -1, tol*fscale
+		for i := range resid {
+			if !inSupport[i] && resid[i] > werr {
+				worst, werr = i, resid[i]
+			}
+		}
+		if worst < 0 {
+			return ft, true // all non-support samples within tolerance
+		}
+		inSupport[worst] = true
+		ft.z = append(ft.z, zs[worst])
+		ft.f = append(ft.f, vs[worst])
+		ft.w = loewnerWeights(zs, vs, inSupport, ft)
+		for i := range resid {
+			if inSupport[i] {
+				resid[i] = 0
+				continue
+			}
+			resid[i] = cmplx.Abs(vs[i] - ft.eval(zs[i]))
+		}
+	}
+	worstLeft := 0.0
+	for i, r := range resid {
+		if !inSupport[i] && r > worstLeft {
+			worstLeft = r
+		}
+	}
+	return ft, worstLeft <= tol*fscale
+}
+
+// loewnerWeights computes the AAA weight vector for the current support
+// set: the smallest singular vector of the Loewner matrix L with
+// L[i][k] = (F_i - f_k) / (z_i - z_k) over non-support rows i and
+// support columns k, found by inverse iteration on the ridge-stabilized
+// normal matrix L^H L (tiny — at most maxSupport square). Falls back to
+// uniform weights (still interpolatory) when the iteration cannot run.
+func loewnerWeights(zs, vs []complex128, inSupport []bool, ft *fit) []complex128 {
+	k := len(ft.z)
+	uniform := make([]complex128, k)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	rows := make([][]complex128, 0, len(zs)-k)
+	for i := range zs {
+		if inSupport[i] {
+			continue
+		}
+		row := make([]complex128, k)
+		for c := 0; c < k; c++ {
+			row[c] = (vs[i] - ft.f[c]) / (zs[i] - ft.z[c])
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return uniform
+	}
+	a := matrix.NewCDense(k, k)
+	for _, row := range rows {
+		for r := 0; r < k; r++ {
+			cr := cmplx.Conj(row[r])
+			for c := 0; c < k; c++ {
+				a.Add(r, c, cr*row[c])
+			}
+		}
+	}
+	ridge := 0.0
+	for i := 0; i < k; i++ {
+		ridge += real(a.At(i, i))
+	}
+	ridge = ridge/float64(k)*1e-14 + 1e-300
+	for i := 0; i < k; i++ {
+		a.Add(i, i, complex(ridge, 0))
+	}
+	lu, err := matrix.FactorComplexLU(a)
+	if err != nil {
+		return uniform
+	}
+	w := make([]complex128, k)
+	inv := complex(1/math.Sqrt(float64(k)), 0)
+	for i := range w {
+		w[i] = inv
+	}
+	for sweep := 0; sweep < 4; sweep++ {
+		nw, err := lu.Solve(w)
+		if err != nil {
+			return uniform
+		}
+		nrm := 0.0
+		for _, v := range nw {
+			nrm += real(v)*real(v) + imag(v)*imag(v)
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm == 0 || math.IsNaN(nrm) || math.IsInf(nrm, 0) {
+			return uniform
+		}
+		s := complex(1/nrm, 0)
+		for i := range nw {
+			nw[i] *= s
+		}
+		w = nw
+	}
+	return w
+}

@@ -1,0 +1,72 @@
+// Package sweep implements adaptive frequency sweeps: instead of one
+// exact complex solve per requested frequency, a handful of adaptively
+// chosen anchor frequencies are solved exactly and the rest are filled
+// by a barycentric rational (AAA-style) fit — the responses R(f), L(f),
+// Z(f) of the extraction and AC paths are smooth low-order rational
+// functions of jω, so dense sweeps (hundreds of points per decade)
+// collapse to a few dozen solves. The fitter cross-validates itself and
+// falls back to exact per-point solves when the response refuses to fit.
+package sweep
+
+import "fmt"
+
+// Mode selects how a frequency sweep executes.
+type Mode int
+
+const (
+	// ModeAuto solves exactly for short sweeps and switches to the
+	// adaptive fitter at AutoThreshold requested points, where anchor
+	// solves plus interpolation win by a wide margin.
+	ModeAuto Mode = iota
+	// ModeExact solves every requested frequency point.
+	ModeExact
+	// ModeAdaptive always runs the anchor-and-fit engine (it still
+	// degrades to exact solves when the response refuses to fit).
+	ModeAdaptive
+)
+
+// AutoThreshold is the requested-point count at which ModeAuto switches
+// to the adaptive engine. Below it a sweep is too short for the fit to
+// amortize its minimum anchor set.
+const AutoThreshold = 64
+
+// DefaultTol is the relative interpolation tolerance used when a
+// caller leaves the sweep tolerance unset.
+const DefaultTol = 1e-6
+
+func (m Mode) String() string {
+	switch m {
+	case ModeExact:
+		return "exact"
+	case ModeAdaptive:
+		return "adaptive"
+	default:
+		return "auto"
+	}
+}
+
+// ParseMode maps the CLI/config spelling to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto":
+		return ModeAuto, nil
+	case "exact":
+		return ModeExact, nil
+	case "adaptive":
+		return ModeAdaptive, nil
+	}
+	return ModeAuto, fmt.Errorf("sweep: unknown sweep mode %q (want exact, adaptive or auto)", s)
+}
+
+// Adapt reports whether a sweep over n requested points should run the
+// adaptive engine under the given mode.
+func (m Mode) Adapt(n int) bool {
+	switch m {
+	case ModeAdaptive:
+		return true
+	case ModeAuto:
+		return n >= AutoThreshold
+	default:
+		return false
+	}
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Refresh every benchmark snapshot in one shot: runs each sibling
+# bench_*.sh in sequence, regenerating all BENCH_*.json at the repo
+# root (kernels, extract, fasthenry, sparse, serve). Extra arguments
+# are forwarded to every underlying `go test` invocation. Budget an
+# hour-plus of wall clock; the sparse and fasthenry harnesses carry
+# the long timeouts on purpose. Run from anywhere in the repo.
+set -e
+cd "$(dirname "$0")"
+for b in bench_*.sh; do
+	[ "$b" = "bench_all.sh" ] && continue
+	echo "== $b =="
+	sh "$b" "$@"
+done
+echo "== all benchmark snapshots refreshed =="

@@ -31,9 +31,10 @@ fi
 # configs over the shared bounded cache and mid-stream disconnects;
 # matrix runs concurrent multigrid V-cycles with conflicting worker
 # counts against one shared hierarchy; grid covers the streaming
-# assembly feeding worker-parallel MG solves.
-echo "== race detector (matrix, geom, extract, fasthenry, sim, engine, serve, grid)"
-go test -race ./internal/matrix ./internal/geom ./internal/extract ./internal/fasthenry ./internal/sim ./internal/engine ./internal/serve ./internal/grid
+# assembly feeding worker-parallel MG solves; sweep stresses the
+# adaptive refine loop under parallel batch solvers.
+echo "== race detector (matrix, geom, extract, fasthenry, sim, engine, serve, grid, sweep)"
+go test -race ./internal/matrix ./internal/geom ./internal/extract ./internal/fasthenry ./internal/sim ./internal/engine ./internal/serve ./internal/grid ./internal/sweep
 
 # No new mutable package-level tuning state: process-wide Set* switches
 # are frozen to the three deprecated shims. Run configuration belongs in
@@ -47,6 +48,17 @@ setters=$(grep -rnE '^func Set[A-Z]' internal cmd --include='*.go' \
 if [ -n "$setters" ]; then
 	echo "new package-level setter(s) found (use engine.Config instead):" >&2
 	echo "$setters" >&2
+	exit 1
+fi
+
+# Sweep-mode selection flows through engine.Config (SweepMode/SweepTol,
+# parsed via engine.ParseSweepMode): no CLI constructs adaptive sweeps
+# by importing internal/sweep directly.
+echo "== no cmd/ imports of internal/sweep (use engine.Config)"
+direct=$(grep -rn 'inductance101/internal/sweep' cmd --include='*.go' || true)
+if [ -n "$direct" ]; then
+	echo "cmd/ must configure sweeps through engine.Config, not internal/sweep:" >&2
+	echo "$direct" >&2
 	exit 1
 fi
 
