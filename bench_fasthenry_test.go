@@ -11,6 +11,7 @@ import (
 
 	"inductance101/internal/fasthenry"
 	"inductance101/internal/geom"
+	"inductance101/internal/grid"
 	"inductance101/internal/sweep"
 )
 
@@ -48,9 +49,34 @@ func benchLoopBus(nWires int) (*geom.Layout, []int, fasthenry.Port, [][2]string)
 	return lay, segs, fasthenry.Port{Plus: "s0", Minus: "g1_0"}, shorts
 }
 
+// benchMicrostripPlane builds the plane benchmark structure: a signal
+// and its far return over a solid conductor plane. The mesh density
+// rides in Options.PlaneNW (~2*nw^2 plane filaments); the geometry is
+// fixed, so one structure spans every benchmark size.
+func benchMicrostripPlane() (*geom.Layout, []int, fasthenry.Port, [][2]string) {
+	lay := geom.NewLayout(grid.StandardLayers())
+	segs := []int{
+		lay.AddSegment(geom.Segment{
+			Layer: 1, Dir: geom.DirX, X0: 0, Y0: 0,
+			Length: 1500e-6, Width: 2e-6, Net: "sig", NodeA: "s0", NodeB: "s1",
+		}),
+		lay.AddSegment(geom.Segment{
+			Layer: 1, Dir: geom.DirX, X0: 0, Y0: 80e-6,
+			Length: 1500e-6, Width: 2e-6, Net: "ret", NodeA: "r0", NodeB: "r1",
+		}),
+	}
+	lay.AddPlane(geom.Plane{
+		Layer: 0, X0: 0, Y0: -24e-6, X1: 1500e-6, Y1: 24e-6,
+		Net: "ret", NodeLeft: "p0", NodeRight: "p1",
+	})
+	return lay, segs, fasthenry.Port{Plus: "s0", Minus: "r0"},
+		[][2]string{{"s1", "r1"}, {"p1", "s1"}, {"p0", "r0"}}
+}
+
 // benchRow is one (size, solver mode, worker count) measurement.
 type benchRow struct {
-	Wires        int     `json:"wires"`
+	Wires        int     `json:"wires,omitempty"`
+	PlaneNW      int     `json:"plane_nw,omitempty"`
 	Filaments    int     `json:"filaments"`
 	Mode         string  `json:"mode"`
 	Workers      int     `json:"workers"`
@@ -322,15 +348,85 @@ func TestBenchFasthenrySnapshot(t *testing.T) {
 		return []benchAdaptiveRow{row}
 	}()
 
+	// Microstrip-over-plane benchmark: the shared mesh lowers the plane
+	// into ~2*nw^2 grid filaments and all three solve paths consume the
+	// same filament set. The dense oracle stays feasible at every size
+	// because the nodal reduction solves one system per reduced node —
+	// a plane carries ~nw^2 nodes, so node count (not filament count)
+	// caps how far the iterative paths can be pushed here; flat and
+	// nested also cross-check each other at the largest size.
+	planeRows := func() []benchRow {
+		lay, segs, port, shorts := benchMicrostripPlane()
+		w := workerCols[len(workerCols)-1]
+		sizes := []struct {
+			planeNW int
+			modes   []fasthenry.SolveMode
+			points  int
+		}{
+			{16, []fasthenry.SolveMode{fasthenry.ModeIterative, fasthenry.ModeNested}, 3},
+			{24, []fasthenry.SolveMode{fasthenry.ModeIterative, fasthenry.ModeNested}, 3},
+			{32, []fasthenry.SolveMode{fasthenry.ModeIterative, fasthenry.ModeNested}, 2},
+		}
+		var out []benchRow
+		for _, sz := range sizes {
+			freqs := fasthenry.LogSpace(1e8, 2e10, sz.points)
+			run := func(mode fasthenry.SolveMode) (benchRow, []fasthenry.Point) {
+				s, err := fasthenry.NewSolver(lay, segs, port, shorts, 2e10, fasthenry.Options{
+					MaxPerSide: 2, PlaneNW: sz.planeNW, Mode: mode, Workers: w,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t0 := time.Now()
+				s.OperatorStats()
+				buildSec := time.Since(t0).Seconds()
+				t1 := time.Now()
+				pts, err := s.SweepParallel(freqs, w)
+				if err != nil {
+					t.Fatalf("plane %v sweep at nw=%d: %v", mode, sz.planeNW, err)
+				}
+				sweepSec := time.Since(t1).Seconds()
+				return benchRow{
+					PlaneNW: sz.planeNW, Filaments: s.NumFilaments(),
+					Mode: mode.String(), Workers: w, SweepPoints: len(freqs),
+					BuildSec: buildSec, SweepSec: sweepSec, TotalSec: buildSec + sweepSec,
+				}, pts
+			}
+			perMode := map[string][]fasthenry.Point{}
+			denseRow, densePts := run(fasthenry.ModeDense)
+			out = append(out, denseRow)
+			t.Logf("plane nw=%3d %6d fils dense    : %.2fs", sz.planeNW, denseRow.Filaments, denseRow.TotalSec)
+			for _, mode := range sz.modes {
+				row, pts := run(mode)
+				row.MaxRelErr = maxRelErrPts(pts, densePts)
+				if row.MaxRelErr > 1e-6 {
+					t.Errorf("plane nw=%d %s: deviates from dense by %.3g (tolerance 1e-6)",
+						sz.planeNW, row.Mode, row.MaxRelErr)
+				}
+				perMode[row.Mode] = pts
+				out = append(out, row)
+				t.Logf("plane nw=%3d %6d fils %-9s: build %.2fs sweep %.2fs err %.2g",
+					sz.planeNW, row.Filaments, row.Mode, row.BuildSec, row.SweepSec, row.MaxRelErr)
+			}
+			flat, nested := perMode[fasthenry.ModeIterative.String()], perMode[fasthenry.ModeNested.String()]
+			if d := maxRelErrPts(nested, flat); d > 1e-6 {
+				t.Errorf("plane nw=%d: nested and flat ACA disagree by %.3g (tolerance 1e-6)", sz.planeNW, d)
+			}
+		}
+		return out
+	}()
+
 	out, err := json.MarshalIndent(struct {
 		Note     string             `json:"note"`
 		CPUs     int                `json:"cpus"`
 		Rows     []benchRow         `json:"loop_extraction"`
+		Plane    []benchRow         `json:"microstrip_plane"`
 		Adaptive []benchAdaptiveRow `json:"adaptive_sweep"`
 	}{
-		Note:     "FastHenry loop-extraction sweep: dense complex LU vs flat-ACA GMRES vs nested-basis (H2) GMRES, per worker column (columns coincide when cpus=1); compressed modes are checked against the dense oracle where feasible; adaptive_sweep compares the rational-interpolation sweep (recycled-GMRES anchors) against exact per-point iterative solves on a dense grid; regenerate with scripts/bench_fasthenry.sh",
+		Note:     "FastHenry loop-extraction sweep: dense complex LU vs flat-ACA GMRES vs nested-basis (H2) GMRES, per worker column (columns coincide when cpus=1); compressed modes are checked against the dense oracle where feasible; microstrip_plane runs the same three paths over a conductor plane lowered through the shared filament mesh (internal/mesh) at rising grid density; adaptive_sweep compares the rational-interpolation sweep (recycled-GMRES anchors) against exact per-point iterative solves on a dense grid; regenerate with scripts/bench_fasthenry.sh",
 		CPUs:     cpus,
 		Rows:     rows,
+		Plane:    planeRows,
 		Adaptive: adaptiveRows,
 	}, "", "  ")
 	if err != nil {

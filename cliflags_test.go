@@ -40,6 +40,11 @@ func TestCLIRejectsUnknownEnumFlags(t *testing.T) {
 		{"rlsweep", []string{"-sweeptol", "0"}},
 		{"inductx", []string{"-sweep", "spline", "nonexistent.json"}},
 		{"inductx", []string{"-sweeptol", "-3", "nonexistent.json"}},
+		// Plane mesh density: shared mesh.ValidatePlaneNW range check,
+		// rejected by every tool before any geometry is lowered.
+		{"rlsweep", []string{"-planenw", "1"}},
+		{"rlsweep", []string{"-planenw", "-4"}},
+		{"inductx", []string{"-planenw", "100000", "nonexistent.json"}},
 	}
 	for _, tc := range cases {
 		tc := tc

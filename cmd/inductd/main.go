@@ -22,16 +22,20 @@
 // schema:
 //
 //	{"tenant":"ci","priority":1,
-//	 "layout":{"layers":[...],"segments":[...]},
+//	 "layout":{"layers":[...],"segments":[...],"planes":[...]},
 //	 "port":{"plus":"s0","minus":"g0"},"shorts":[["s1","g1"]],
 //	 "fstart_hz":1e8,"fstop_hz":2e10,"points":13,
 //	 "config":{"solver":"auto","workers":1,"kernelcache":"shared",
-//	           "sweep":"auto","sweeptol":1e-6}}
+//	           "sweep":"auto","sweeptol":1e-6,"planenw":8}}
 //
 // config.sweep selects exact per-point solves, the adaptive
 // rational-interpolation engine, or auto (adaptive at 64+ points);
 // adaptive responses mark interpolated rows with "interp":true and
 // stream after the fit converges rather than point by point.
+// config.planenw sets the conductor-plane mesh density (grid cells per
+// axis, 0 = default); out-of-range values and layouts with more than a
+// handful of planes are rejected with a structured 400 before any work
+// starts.
 //
 // Flags are validated fail-fast with a one-line error before the
 // listener opens; -cachebytes rejects negative values (0 = unbounded).

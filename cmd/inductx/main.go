@@ -7,7 +7,7 @@
 //
 //	inductx [-l matrix|summary] [-c] [-window 0] [-kernelcache on|off]
 //	        [-solver auto|dense|iterative|nested] [-acatol 1e-8]
-//	        [-sweep exact|adaptive|auto] [-sweeptol 1e-6]
+//	        [-sweep exact|adaptive|auto] [-sweeptol 1e-6] [-planenw 8]
 //	        [-workers 0] [-v] layout.json
 //	inductx -sample          # print a sample layout document
 //
@@ -53,6 +53,7 @@ func main() {
 		acatol  = flag.Float64("acatol", 1e-8, "far-field relative tolerance for the compressed representations")
 		swmode  = flag.String("sweep", "auto", "sweep strategy carried in the run config: exact | adaptive | auto (validated here, consumed by frequency-sweeping flows)")
 		swtol   = flag.Float64("sweeptol", 1e-6, "adaptive sweep relative interpolation tolerance")
+		planew  = flag.Int("planenw", 0, "plane mesh density carried in the run config, grid cells per axis (validated here, consumed by the filament-lowering flows; 0 = mesh default)")
 		workers = flag.Int("workers", 0, "worker goroutines for extraction and operator build (0 = all CPUs)")
 		verbose = flag.Bool("v", false, "print extraction diagnostics (kernel cache hit/miss counters, operator compression, rank histograms)")
 	)
@@ -60,7 +61,7 @@ func main() {
 
 	// Every enum flag is validated before any file is opened or work is
 	// done: a typo fails in milliseconds with a one-line error.
-	cfg := engine.Config{ACATol: *acatol, Workers: *workers, CacheBytes: *kbytes}
+	cfg := engine.Config{ACATol: *acatol, Workers: *workers, CacheBytes: *kbytes, PlaneNW: *planew}
 	switch *kcache {
 	case "on":
 		cfg.Cache = engine.CacheDefault

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rlsweep [-length 2e-3] [-width 8e-6] [-pitch 20e-6]
+//	rlsweep [-length 2e-3] [-width 8e-6] [-pitch 20e-6] [-plane] [-planenw 8]
 //	        [-fstart 1e8] [-fstop 2e10] [-points 13] [-fit] [-kernelcache on|off]
 //	        [-solver auto|dense|iterative|nested] [-precond bjacobi|sai]
 //	        [-acatol 1e-8] [-sweep exact|adaptive|auto] [-sweeptol 1e-6]
@@ -23,7 +23,11 @@
 // points (with Krylov recycling across anchors) and interpolates the
 // rest within -sweeptol, and auto switches to adaptive at 64+ points;
 // in adaptive mode the CSV carries a fourth interp column marking
-// interpolated rows. -workers caps the operator-build and sweep
+// interpolated rows. -plane replaces the builtin structure's coplanar
+// returns with a solid ground plane on the layer below (the paper's
+// Fig. 6 microstrip); -planenw sets the plane mesh density in grid
+// cells per axis (0 = the mesh default) and applies equally to planes
+// read from a -layout file. -workers caps the operator-build and sweep
 // fan-out (0 = all CPUs; results are bit-identical at any setting).
 // -v prints diagnostics to stderr: the resolved solve mode, kernel
 // cache hit/miss/entry counters, operator compression stats with
@@ -78,6 +82,8 @@ func main() {
 		acatol = flag.Float64("acatol", 1e-8, "far-field relative tolerance for the compressed solvers")
 		swmode = flag.String("sweep", "auto", "sweep strategy: exact (solve every point) | adaptive (rational fit over anchor solves) | auto (adaptive at 64+ points)")
 		swtol  = flag.Float64("sweeptol", 1e-6, "adaptive sweep relative interpolation tolerance")
+		plane  = flag.Bool("plane", false, "builtin structure: return through a ground plane below instead of coplanar wires")
+		planew = flag.Int("planenw", 0, "plane mesh density, grid cells per axis (0 = mesh default)")
 		nwork  = flag.Int("workers", 0, "worker goroutines for operator build and sweep (0 = all CPUs)")
 		verb   = flag.Bool("v", false, "print solve diagnostics to stderr (solve mode, kernel cache counters, operator stats, GMRES iterations)")
 		shorts shortList
@@ -87,7 +93,7 @@ func main() {
 
 	// Enum flags are validated into the run config before any file is
 	// opened or filament is built: a typo fails in milliseconds.
-	cfg := engine.Config{ACATol: *acatol, Workers: *nwork, CacheBytes: *kbytes}
+	cfg := engine.Config{ACATol: *acatol, Workers: *nwork, CacheBytes: *kbytes, PlaneNW: *planew}
 	switch *kcache {
 	case "on":
 		cfg.Cache = engine.CacheDefault
@@ -145,6 +151,8 @@ func main() {
 		}
 		port = fasthenry.Port{Plus: *plus, Minus: *minus}
 		sh = shorts
+	} else if *plane {
+		lay, segs, port, sh = builtinPlane(*length, *width, *pitch)
 	} else {
 		lay, segs, port, sh = builtin(*length, *width, *pitch)
 	}
@@ -262,6 +270,28 @@ func builtin(length, width, pitch float64) (*geom.Layout, []int, fasthenry.Port,
 	return lay, []int{s, g1, g2},
 		fasthenry.Port{Plus: "s0", Minus: "g0"},
 		[][2]string{{"s1", "g1"}, {"g1", "h1"}, {"g0", "h0"}}
+}
+
+// builtinPlane makes the Fig. 6 microstrip variant of the builtin
+// structure: the same signal wire returning through a solid ground
+// plane on the layer below (lowered to a filament grid by
+// internal/mesh) instead of coplanar wires. The plane's x-edge rails
+// tie it into the loop: the far rail to the signal's far end, the near
+// rail to the port minus.
+func builtinPlane(length, width, pitch float64) (*geom.Layout, []int, fasthenry.Port, [][2]string) {
+	lay := geom.NewLayout([]geom.Layer{
+		{Name: "M5", Z: 4e-6, Thickness: 0.9e-6, SheetRho: 0.025, HBelow: 1.0e-6},
+		{Name: "M6", Index: 1, Z: 6e-6, Thickness: 1.2e-6, SheetRho: 0.018, HBelow: 1.1e-6},
+	})
+	s := lay.AddSegment(geom.Segment{Layer: 1, Dir: geom.DirX, X0: 0, Y0: 0,
+		Length: length, Width: width, Net: "sig", NodeA: "s0", NodeB: "s1"})
+	lay.AddPlane(geom.Plane{
+		Layer: 0, X0: 0, Y0: -2 * pitch, X1: length, Y1: 2 * pitch,
+		Net: "GND", NodeLeft: "g0", NodeRight: "g1",
+	})
+	return lay, []int{s},
+		fasthenry.Port{Plus: "s0", Minus: "g0"},
+		[][2]string{{"s1", "g1"}}
 }
 
 func fatal(err error) {

@@ -132,6 +132,14 @@ func TestGoldenRLSweepAdaptive(t *testing.T) {
 		"-sweep", "adaptive", "-sweeptol", "1e-6", "-points", "96", "-workers", "2"))
 }
 
+func TestGoldenRLSweepPlane(t *testing.T) {
+	dir := buildTools(t)
+	// Signal over a first-class conductor plane, lowered through the
+	// shared filament mesh; the dense path keeps the CSV deterministic.
+	checkGolden(t, "rlsweep_plane", runTool(t, filepath.Join(dir, "rlsweep"),
+		"-plane", "-planenw", "8", "-points", "7"))
+}
+
 func TestGoldenInductx(t *testing.T) {
 	dir := buildTools(t)
 	bin := filepath.Join(dir, "inductx")

@@ -19,6 +19,7 @@ import (
 
 	"inductance101/internal/extract"
 	"inductance101/internal/fasthenry"
+	"inductance101/internal/mesh"
 	"inductance101/internal/sim"
 	"inductance101/internal/sweep"
 )
@@ -211,6 +212,11 @@ type Config struct {
 	// SweepTol*|Z_exact|. 0 = sweep.DefaultTol (1e-6); negative or NaN
 	// values are rejected by Validate.
 	SweepTol float64
+	// PlaneNW is the mesh grid density of conductor planes: the number
+	// of grid cells along each plane axis. 0 = mesh.DefaultPlaneNW;
+	// values outside [2, mesh.MaxPlaneNW] are rejected by Validate
+	// before any geometry is read.
+	PlaneNW int
 }
 
 // Validate rejects configs no layer can interpret. Zero values are
@@ -253,6 +259,9 @@ func (c Config) Validate() error {
 	}
 	if c.SweepTol < 0 || math.IsNaN(c.SweepTol) {
 		return fmt.Errorf("engine: sweep tolerance must be > 0, got %g", c.SweepTol)
+	}
+	if err := mesh.ValidatePlaneNW(c.PlaneNW); err != nil {
+		return err
 	}
 	return nil
 }
@@ -368,5 +377,6 @@ func (s *Session) SolverOptions() fasthenry.Options {
 		Workers:   s.cfg.Workers,
 		SweepMode: s.cfg.SweepMode,
 		SweepTol:  s.cfg.SweepTol,
+		PlaneNW:   s.cfg.PlaneNW,
 	}
 }

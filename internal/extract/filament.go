@@ -1,0 +1,75 @@
+package extract
+
+// Filament-level kernel entry points: the bridge between the mesh
+// lowering (internal/mesh) and the partial-inductance operators. All
+// three solve paths — the dense oracle, the flat-ACA compressed
+// operator and the nested-basis one — evaluate the same entry function
+// over the same lowered filaments, so whether a filament came from a
+// segment cross-section or a plane grid is invisible past this point.
+
+import (
+	"math"
+
+	"inductance101/internal/geom"
+	"inductance101/internal/mesh"
+)
+
+// FilamentElements converts lowered filaments into the geometric
+// elements the hierarchical compression clusters and measures (span
+// along the routing axis, cross coordinate, height, cross-section
+// radius).
+func FilamentElements(fils []mesh.Filament) []HElement {
+	elems := make([]HElement, len(fils))
+	for i := range fils {
+		f := &fils[i]
+		e := HElement{Dir: int(f.Dir), Z: f.Z, Rad: math.Hypot(f.W, f.T) / 2}
+		if f.Dir == geom.DirX {
+			e.A0, e.A1, e.Cross = f.X0, f.X0+f.Length, f.Y0
+		} else {
+			e.A0, e.A1, e.Cross = f.Y0, f.Y0+f.Length, f.X0
+		}
+		elems[i] = e
+	}
+	return elems
+}
+
+// FilamentEntry returns the partial-inductance entry function over
+// lowered filaments, routed through the given kernel cache. The
+// arguments are canonicalized to i <= j so both orders hit the same
+// translation-invariant cache key (the value is symmetric); a regular
+// filament grid — a bus of identical segments, or a plane's uniform
+// mesh — repeats the same relative geometry constantly, so each unique
+// (la, lb, s, d) is integrated once per cache lifetime.
+//
+// Orthogonal pairs return exactly zero (the Neumann integral vanishes
+// by symmetry); collinear pairs (perpendicular distance zero, e.g.
+// filaments in the same plane-grid track) are regularized with the
+// mean self-GMD of the two cross-sections so the formula stays finite.
+func FilamentEntry(fils []mesh.Filament, cache CacheRef) func(i, j int) float64 {
+	return func(i, j int) float64 {
+		if i > j {
+			i, j = j, i
+		}
+		c := cache.Cache()
+		fi := &fils[i]
+		if i == j {
+			return c.SelfInductanceBar(fi.Length, fi.W, fi.T)
+		}
+		fj := &fils[j]
+		if fi.Dir != fj.Dir {
+			return 0
+		}
+		var off, d float64
+		if fi.Dir == geom.DirX {
+			off = fj.X0 - fi.X0
+			d = math.Hypot(fj.Y0-fi.Y0, fj.Z-fi.Z)
+		} else {
+			off = fj.Y0 - fi.Y0
+			d = math.Hypot(fj.X0-fi.X0, fj.Z-fi.Z)
+		}
+		if d == 0 {
+			d = SelfGMDFactor * (fi.W + fi.T + fj.W + fj.T) / 2
+		}
+		return c.MutualFilaments(fi.Length, fj.Length, off, d)
+	}
+}

@@ -1,12 +1,13 @@
 // Package fasthenry is a FastHenry-style frequency-dependent inductance
 // and resistance extractor (Kamon, Tsuk & White, IEEE MTT 1994).
 //
-// Conductor segments are discretized into parallel filaments across
-// their cross-section; the dense complex branch impedance matrix
-// Zb = R + jω Lp (partial inductances between every filament pair) is
-// assembled and the port impedance solved by nodal analysis:
-// Y = A Zb^{-1} A^T. Skin and proximity effects emerge from the current
-// redistribution among filaments, exactly as in FastHenry.
+// Conductor segments and planes are lowered by internal/mesh into a
+// uniform filament set (segments split across their cross-section,
+// planes into overlapping X/Y filament grids); the dense complex branch
+// impedance matrix Zb = R + jω Lp (partial inductances between every
+// filament pair) is assembled and the port impedance solved by nodal
+// analysis: Y = A Zb^{-1} A^T. Skin and proximity effects emerge from
+// the current redistribution among filaments, exactly as in FastHenry.
 //
 // Substitution note (see DESIGN.md §5): FastHenry accelerates the dense
 // solve with a multipole expansion; at the scales this repository
@@ -23,8 +24,8 @@ import (
 	"inductance101/internal/extract"
 	"inductance101/internal/geom"
 	"inductance101/internal/matrix"
+	"inductance101/internal/mesh"
 	"inductance101/internal/sweep"
-	"inductance101/internal/units"
 )
 
 // Port defines the two terminals the impedance is extracted between.
@@ -44,6 +45,11 @@ type Options struct {
 	// Rho is the conductor resistivity used for skin-depth sizing
 	// (default copper).
 	Rho float64
+	// PlaneNW is the mesh grid density of conductor planes: the number
+	// of grid cells along each plane axis (0 = mesh.DefaultPlaneNW;
+	// see mesh.Options.PlaneNW for the valid range, which NewSolver
+	// rejects fail-fast).
+	PlaneNW int
 	// Mode selects the solve path (dense oracle, matrix-free GMRES, or
 	// auto by filament count). The zero value is ModeAuto.
 	Mode SolveMode
@@ -77,30 +83,12 @@ type Options struct {
 	RecycleDim int
 }
 
-func (o Options) maxPerSide() int {
-	if o.MaxPerSide <= 0 {
-		return 5
+// meshOptions maps the solver options onto the lowering stage's.
+func (o Options) meshOptions() mesh.Options {
+	return mesh.Options{
+		NW: o.NW, NT: o.NT, MaxPerSide: o.MaxPerSide,
+		Rho: o.Rho, PlaneNW: o.PlaneNW,
 	}
-	return o.MaxPerSide
-}
-
-func (o Options) rho() float64 {
-	if o.Rho <= 0 {
-		return units.RhoCu
-	}
-	return o.Rho
-}
-
-// filament is one current tube of a segment.
-type filament struct {
-	seg    int // layout segment index
-	dir    geom.Direction
-	x0, y0 float64 // centre-line start (plane coordinates)
-	z      float64 // centre height
-	length float64
-	w, t   float64
-	r      float64 // series resistance
-	na, nb int     // merged node ids
 }
 
 // Solver holds the discretized problem for repeated solves across a
@@ -109,8 +97,8 @@ type filament struct {
 // first use, the iterative path a hierarchically compressed operator —
 // whichever the solve mode needs, never both by default.
 type Solver struct {
-	layout *geom.Layout
-	fils   []filament
+	fils   []mesh.Filament
+	entry  func(i, j int) float64 // filament partial-inductance kernel
 	nNodes int
 	plus   int // node index of port plus (minus is the reference)
 	minus  int
@@ -132,102 +120,24 @@ type Solver struct {
 	op     extract.LOperator // compressed partial inductance (lazy)
 }
 
-// NewSolver discretizes the given segments of the layout at a reference
-// frequency fRef (which sizes the filament grid), merges the node pairs
-// in shorts, and prepares the partial-inductance matrix.
+// NewSolver lowers the given segments of the layout — plus every
+// conductor plane and via it contains — through internal/mesh at a
+// reference frequency fRef (which sizes the filament grids), merges the
+// node pairs in shorts, and prepares the partial-inductance problem.
 func NewSolver(l *geom.Layout, segs []int, port Port, shorts [][2]string, fRef float64, opt Options) (*Solver, error) {
-	// Union-find over node names for shorts.
-	parent := make(map[string]string)
-	var find func(string) string
-	find = func(s string) string {
-		p, ok := parent[s]
-		if !ok || p == s {
-			parent[s] = s
-			return s
-		}
-		r := find(p)
-		parent[s] = r
-		return r
+	m, err := mesh.Build(l, segs, shorts, fRef, opt.meshOptions())
+	if err != nil {
+		return nil, fmt.Errorf("fasthenry: %w", err)
 	}
-	union := func(a, b string) { parent[find(a)] = find(b) }
-	for _, sh := range shorts {
-		union(sh[0], sh[1])
-	}
-	// Vias short their endpoint nodes: via resistance is negligible
-	// against the loop impedances of interest, and the RL solver has no
-	// resistor-only branches. Vias whose nodes never appear on extracted
-	// segments are harmless — their merged names are simply never used.
-	for i := range l.Vias {
-		v := &l.Vias[i]
-		union(v.NodeLo, v.NodeHi)
-	}
-
-	nodeID := make(map[string]int)
-	idOf := func(name string) int {
-		r := find(name)
-		if id, ok := nodeID[r]; ok {
-			return id
-		}
-		id := len(nodeID)
-		nodeID[r] = id
-		return id
-	}
-
-	skin := units.SkinDepth(opt.rho(), fRef)
-	var fils []filament
-	for _, si := range segs {
-		s := &l.Segments[si]
-		ly := l.Layers[s.Layer]
-		nw, nt := opt.NW, opt.NT
-		if nw <= 0 {
-			nw = autoDiv(s.Width, skin, opt.maxPerSide())
-		}
-		if nt <= 0 {
-			nt = autoDiv(ly.Thickness, skin, opt.maxPerSide())
-		}
-		fw := s.Width / float64(nw)
-		ft := ly.Thickness / float64(nt)
-		// Filament resistance from the layer's sheet resistance:
-		// rho = SheetRho * thickness; R = rho l / (fw ft).
-		rho := ly.SheetRho * ly.Thickness
-		rFil := rho * s.Length / (fw * ft)
-		na, nb := idOf(s.NodeA), idOf(s.NodeB)
-		if na == nb {
-			return nil, fmt.Errorf("fasthenry: segment %d shorted end-to-end by shorts list", si)
-		}
-		zc := ly.Z + ly.Thickness/2
-		for iw := 0; iw < nw; iw++ {
-			off := -s.Width/2 + (float64(iw)+0.5)*fw
-			for it := 0; it < nt; it++ {
-				zf := zc - ly.Thickness/2 + (float64(it)+0.5)*ft
-				// Each filament carries rFil; the parallel combination
-				// of nw*nt filaments equals the segment resistance.
-				f := filament{
-					seg: si, dir: s.Dir, length: s.Length,
-					w: fw, t: ft, r: rFil,
-					na: na, nb: nb, z: zf,
-				}
-				if s.Dir == geom.DirX {
-					f.x0, f.y0 = s.X0, s.Y0+off
-				} else {
-					f.x0, f.y0 = s.X0+off, s.Y0
-				}
-				fils = append(fils, f)
-			}
-		}
-	}
-	if len(fils) == 0 {
-		return nil, fmt.Errorf("fasthenry: no filaments (empty segment list)")
-	}
-
-	plus, minus := idOf(port.Plus), idOf(port.Minus)
+	plus, minus := m.Node(port.Plus), m.Node(port.Minus)
 	if plus == minus {
 		return nil, fmt.Errorf("fasthenry: port terminals are shorted together")
 	}
 
 	return &Solver{
-		layout: l, fils: fils,
-		nNodes: len(nodeID), plus: plus, minus: minus,
+		fils:   m.Filaments,
+		entry:  extract.FilamentEntry(m.Filaments, opt.Cache),
+		nNodes: m.NumNodes(), plus: plus, minus: minus,
 		mode: opt.Mode, acaTol: opt.ACATol, precond: opt.Precond,
 		cache: opt.Cache, workers: opt.Workers,
 		sweepMode: opt.SweepMode, sweepTol: opt.SweepTol,
@@ -236,39 +146,15 @@ func NewSolver(l *geom.Layout, segs []int, port Port, shorts [][2]string, fRef f
 }
 
 // lpEntry returns the partial inductance between filaments i and j
-// (i <= j for canonical kernel-cache keys; callers may pass either
-// order, the value is symmetric). A regular filament grid repeats the
-// same relative geometry constantly (every segment of a bus discretizes
-// identically), so the kernels go through extract's geometry-keyed
-// cache — values stay bit-identical, each unique (la, lb, s, d) is
-// integrated once per process.
+// (symmetric in its arguments): extract.FilamentEntry over the lowered
+// mesh, routed through the solver's kernel cache.
 func (s *Solver) lpEntry(i, j int) float64 {
-	if i > j {
-		i, j = j, i
+	if s.entry == nil {
+		// Solvers assembled literally in tests bypass NewSolver; build
+		// the entry function over the bare filament slice on first use.
+		s.entry = extract.FilamentEntry(s.fils, s.cache)
 	}
-	c := s.cache.Cache()
-	fi := &s.fils[i]
-	if i == j {
-		return c.SelfInductanceBar(fi.length, fi.w, fi.t)
-	}
-	fj := &s.fils[j]
-	if fi.dir != fj.dir {
-		return 0
-	}
-	var off, d float64
-	if fi.dir == geom.DirX {
-		off = fj.x0 - fi.x0
-		d = math.Hypot(fj.y0-fi.y0, fj.z-fi.z)
-	} else {
-		off = fj.y0 - fi.y0
-		d = math.Hypot(fj.x0-fi.x0, fj.z-fi.z)
-	}
-	if d == 0 {
-		// Collinear filaments (same track): regularize with the
-		// mean self-GMD so the formula stays finite.
-		d = extract.SelfGMDFactor * (fi.w + fi.t + fj.w + fj.t) / 2
-	}
-	return c.MutualFilaments(fi.length, fj.length, off, d)
+	return s.entry(i, j)
 }
 
 // denseLP materializes (once) the dense partial-inductance matrix over
@@ -281,7 +167,7 @@ func (s *Solver) denseLP() *matrix.Dense {
 		for i := 0; i < nf; i++ {
 			lp.Set(i, i, s.lpEntry(i, i))
 			for j := i + 1; j < nf; j++ {
-				if s.fils[i].dir != s.fils[j].dir {
+				if s.fils[i].Dir != s.fils[j].Dir {
 					continue
 				}
 				m := s.lpEntry(i, j)
@@ -292,20 +178,6 @@ func (s *Solver) denseLP() *matrix.Dense {
 		s.lp = lp
 	})
 	return s.lp
-}
-
-func autoDiv(dim, skin float64, maxN int) int {
-	if skin <= 0 || math.IsInf(skin, 1) {
-		return 1
-	}
-	n := int(math.Ceil(dim / skin))
-	if n < 1 {
-		n = 1
-	}
-	if n > maxN {
-		n = maxN
-	}
-	return n
 }
 
 // NumFilaments reports the discretization size.
@@ -346,7 +218,7 @@ func (s *Solver) impedanceDense(f float64) (complex128, error) {
 		for j := 0; j < nf; j++ {
 			re := 0.0
 			if i == j {
-				re = s.fils[i].r
+				re = s.fils[i].R
 			}
 			zb.Set(i, j, complex(re, omega*lp.At(i, j)))
 		}
@@ -384,10 +256,10 @@ func (s *Solver) incidenceColumn(col []complex128, k int) {
 	}
 	for fi := range s.fils {
 		f := &s.fils[fi]
-		if s.nodeRow(f.na) == k {
+		if s.nodeRow(f.NodeA) == k {
 			col[fi] += 1
 		}
-		if s.nodeRow(f.nb) == k {
+		if s.nodeRow(f.NodeB) == k {
 			col[fi] -= 1
 		}
 	}
@@ -398,10 +270,10 @@ func (s *Solver) incidenceColumn(col []complex128, k int) {
 func (s *Solver) scatterAdmittance(y *matrix.CDense, k int, w []complex128) {
 	for fi := range s.fils {
 		f := &s.fils[fi]
-		if ra := s.nodeRow(f.na); ra >= 0 {
+		if ra := s.nodeRow(f.NodeA); ra >= 0 {
 			y.Add(ra, k, w[fi])
 		}
-		if rb := s.nodeRow(f.nb); rb >= 0 {
+		if rb := s.nodeRow(f.NodeB); rb >= 0 {
 			y.Add(rb, k, -w[fi])
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"inductance101/internal/extract"
 	"inductance101/internal/geom"
+	"inductance101/internal/mesh"
 )
 
 // TestNestedMatchesDense extends the iterative==dense equivalence suite
@@ -193,7 +194,7 @@ func TestSingularPrecondBlockFallback(t *testing.T) {
 	// Zero resistance and a rank-1 inductance block: R + jωL is exactly
 	// singular.
 	op := &singularOp{n: 2, v: []float64{1, 1, 1, 1}}
-	s := &Solver{fils: make([]filament, 2)}
+	s := &Solver{fils: make([]mesh.Filament, 2)}
 	pre := s.buildBlockPrecond(op, 2*math.Pi*1e9)
 	if len(pre.blocks) != 1 {
 		t.Fatalf("expected 1 block, got %d", len(pre.blocks))
@@ -237,7 +238,7 @@ func TestSingularPrecondBlockFallback(t *testing.T) {
 // bases beyond.
 func TestAutoNestedThreshold(t *testing.T) {
 	at := func(nf int) SolveMode {
-		s := &Solver{fils: make([]filament, nf)}
+		s := &Solver{fils: make([]mesh.Filament, nf)}
 		return s.effectiveMode()
 	}
 	if got := at(AutoIterativeThreshold - 1); got != ModeDense {

@@ -5,8 +5,8 @@ import (
 	"math"
 
 	"inductance101/internal/extract"
-	"inductance101/internal/geom"
 	"inductance101/internal/matrix"
+	"inductance101/internal/mesh"
 )
 
 // Matrix-free iterative extraction path.
@@ -17,7 +17,7 @@ import (
 // below skin-depth-accurate discretizations. The iterative path never
 // forms Zb. Lp becomes a hierarchically compressed operator
 // (extract.CompressedL): filaments are clustered through
-// geom.Index.ClusterTree, near blocks stay exact through the kernel
+// mesh.ClusterFilaments, near blocks stay exact through the kernel
 // cache, and well-separated blocks are ACA low-rank factors, so one
 // matvec is near-linear in nf. Each nodal solve then runs restarted
 // GMRES with a block-Jacobi preconditioner built from the per-cluster
@@ -184,39 +184,14 @@ const gmresRestart = 60
 // the shared kernel cache.
 func (s *Solver) compressedOp() extract.LOperator {
 	s.opOnce.Do(func() {
-		nf := len(s.fils)
-		elems := make([]extract.HElement, nf)
-		for i := range s.fils {
-			f := &s.fils[i]
-			e := extract.HElement{Dir: int(f.dir), Z: f.z, Rad: math.Hypot(f.w, f.t) / 2}
-			if f.dir == geom.DirX {
-				e.A0, e.A1, e.Cross = f.x0, f.x0+f.length, f.y0
-			} else {
-				e.A0, e.A1, e.Cross = f.y0, f.y0+f.length, f.x0
-			}
-			elems[i] = e
-		}
-		// Cluster segments with the layout's spatial index, then expand
-		// each segment node into its filaments. Leaf size targets ~48
-		// filaments so the block-Jacobi diagonal blocks stay cheap to
-		// factor while capturing whole-conductor self coupling.
-		filsOf := make(map[int][]int)
-		var segsUsed []int
-		for i := range s.fils {
-			si := s.fils[i].seg
-			if _, ok := filsOf[si]; !ok {
-				segsUsed = append(segsUsed, si)
-			}
-			filsOf[si] = append(filsOf[si], i)
-		}
-		perSeg := (nf + len(segsUsed) - 1) / len(segsUsed)
-		leafSegs := 48 / perSeg
-		if leafSegs < 1 {
-			leafSegs = 1
-		}
-		idx := geom.NewIndex(s.layout, 0)
-		roots := idx.ClusterTreeParallel(segsUsed, leafSegs, s.workers)
-		trees := extract.ElemTreesFromClusters(roots, func(si int) []int { return filsOf[si] })
+		elems := extract.FilamentElements(s.fils)
+		// Cluster the filaments directly (plane grids have no segment to
+		// cluster by; segment filaments land in the same leaves their
+		// spatial position dictates). Leaf size targets ~48 filaments so
+		// the block-Jacobi diagonal blocks stay cheap to factor while
+		// capturing whole-conductor self coupling.
+		roots := mesh.ClusterFilaments(s.fils, 48, s.workers)
+		trees := extract.ElemTreesFromClusters(roots, func(i int) []int { return []int{i} })
 		tol := s.acaTol
 		if tol <= 0 {
 			tol = 1e-8
@@ -255,7 +230,7 @@ func (z *zbOp) ApplyTo(dst, x []complex128) {
 	z.op.ApplyCTo(z.scratch, x)
 	jw := complex(0, z.omega)
 	for i := range dst {
-		dst[i] = complex(z.s.fils[i].r, 0)*x[i] + jw*z.scratch[i]
+		dst[i] = complex(z.s.fils[i].R, 0)*x[i] + jw*z.scratch[i]
 	}
 }
 
@@ -290,7 +265,7 @@ func (s *Solver) buildBlockPrecond(op extract.LOperator, omega float64) *blockPr
 			for b := 0; b < n; b++ {
 				re := 0.0
 				if a == b {
-					re = s.fils[d.Idx[a]].r
+					re = s.fils[d.Idx[a]].R
 				}
 				zb.Set(a, b, complex(re, omega*d.V[a*n+b]))
 			}

@@ -1,0 +1,122 @@
+package fasthenry
+
+import (
+	"math"
+	"testing"
+
+	"inductance101/internal/extract"
+	"inductance101/internal/geom"
+	"inductance101/internal/grid"
+)
+
+// microstripOverPlane builds a microstrip-over-plane layout big enough
+// for the compressed operators to be meaningful: a signal and its far
+// return over a PlaneNW=16 plane lower to ~550 filaments, past the
+// dense/iterative auto threshold.
+func microstripOverPlane(t *testing.T) (*geom.Layout, []int, Port, [][2]string) {
+	t.Helper()
+	lay := geom.NewLayout(grid.StandardLayers())
+	segs := []int{
+		lay.AddSegment(geom.Segment{
+			Layer: 1, Dir: geom.DirX, X0: 0, Y0: 0,
+			Length: 1500e-6, Width: 2e-6,
+			Net: "sig", NodeA: "s0", NodeB: "s1",
+		}),
+		lay.AddSegment(geom.Segment{
+			Layer: 1, Dir: geom.DirX, X0: 0, Y0: 80e-6,
+			Length: 1500e-6, Width: 2e-6,
+			Net: "ret", NodeA: "r0", NodeB: "r1",
+		}),
+	}
+	lay.AddPlane(geom.Plane{
+		Layer: 0, X0: 0, Y0: -24e-6, X1: 1500e-6, Y1: 24e-6,
+		Net: "ret", NodeLeft: "p0", NodeRight: "p1",
+	})
+	if err := lay.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return lay, segs, Port{Plus: "s0", Minus: "r0"},
+		[][2]string{{"s1", "r1"}, {"p1", "s1"}, {"p0", "r0"}}
+}
+
+// TestPlaneThreeModeAgreement is the acceptance gate of the shared
+// lowering stage: all three solve paths — dense LU, flat-ACA GMRES and
+// the nested-basis operator — consume the same mesh filaments for a
+// microstrip over a conductor plane and must agree pairwise to 1e-6
+// relative on the port impedance.
+func TestPlaneThreeModeAgreement(t *testing.T) {
+	lay, segs, port, shorts := microstripOverPlane(t)
+	const f = 1e9
+	modes := []struct {
+		name string
+		mode SolveMode
+	}{
+		{"dense", ModeDense},
+		{"iterative", ModeIterative},
+		{"nested", ModeNested},
+	}
+	z := make([]complex128, len(modes))
+	for i, m := range modes {
+		s, err := NewSolver(lay, segs, port, shorts, f, Options{
+			MaxPerSide: 2, PlaneNW: 16, Mode: m.mode,
+			Cache: extract.PrivateCache(), Workers: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if i == 0 && s.NumFilaments() < 512 {
+			t.Fatalf("only %d filaments; the structure no longer exercises the compressed paths", s.NumFilaments())
+		}
+		zi, err := s.Impedance(f)
+		if err != nil {
+			t.Fatalf("%s impedance: %v", m.name, err)
+		}
+		z[i] = zi
+	}
+	for i := 0; i < len(modes); i++ {
+		for j := i + 1; j < len(modes); j++ {
+			rel := cmplxAbs(z[i]-z[j]) / cmplxAbs(z[i])
+			if rel > 1e-6 {
+				t.Errorf("%s vs %s: Z %v vs %v (rel %.3g > 1e-6)",
+					modes[i].name, modes[j].name, z[i], z[j], rel)
+			}
+		}
+	}
+	r, l := RL(z[0], f)
+	if r <= 0 || l <= 0 {
+		t.Errorf("non-physical plane extraction: R=%g L=%g", r, l)
+	}
+}
+
+func cmplxAbs(z complex128) float64 { return math.Hypot(real(z), imag(z)) }
+
+// TestPlaneSolverDeterministic re-extracts the plane structure on the
+// iterative path at different worker counts: the mesh lowering and the
+// clustered operator are both deterministic, so the impedances must be
+// bit-identical.
+func TestPlaneSolverDeterministic(t *testing.T) {
+	lay, segs, port, shorts := microstripOverPlane(t)
+	const f = 2e9
+	solve := func(workers int) complex128 {
+		s, err := NewSolver(lay, segs, port, shorts, f, Options{
+			MaxPerSide: 2, PlaneNW: 12, Mode: ModeIterative,
+			Cache: extract.PrivateCache(), Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := s.Impedance(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return z
+	}
+	want := solve(1)
+	for _, w := range []int{2, 4} {
+		got := solve(w)
+		if math.Float64bits(real(got)) != math.Float64bits(real(want)) ||
+			math.Float64bits(imag(got)) != math.Float64bits(imag(want)) {
+			t.Errorf("workers=%d: Z %v differs from serial %v", w, got, want)
+		}
+	}
+}

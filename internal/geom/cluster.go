@@ -7,14 +7,17 @@ import (
 	"sync/atomic"
 )
 
-// ClusterNode is one node of a spatial cluster tree over segments: a
-// binary tree built by recursive median bisection, used by the
-// hierarchically compressed partial-inductance operators in
-// internal/extract to group conductors into near (dense) and
-// well-separated (low-rank) interaction blocks.
+// ClusterNode is one node of a spatial cluster tree over directed
+// elements — layout segments, or the filaments the mesh lowering
+// produces from segments and planes: a binary tree built by recursive
+// median bisection, used by the hierarchically compressed
+// partial-inductance operators in internal/extract to group conductors
+// into near (dense) and well-separated (low-rank) interaction blocks.
 type ClusterNode struct {
-	// Segs lists the layout segment indices of this subtree, in the
-	// deterministic order produced by the bisection sorts.
+	// Segs lists the element indices of this subtree (segment indices
+	// for Index.ClusterTree, caller-defined element indices for
+	// ClusterItems), in the deterministic order produced by the
+	// bisection sorts.
 	Segs []int
 	// Left and Right are the two halves (nil for leaves).
 	Left, Right *ClusterNode
@@ -90,11 +93,49 @@ func (idx *Index) ClusterTreeParallel(segs []int, leafSize, workers int) []*Clus
 	// token and returns it when done.
 	budget := int64(workers - 1)
 	var roots []*ClusterNode
+	coord := func(dim, si int) float64 { return clusterCoord(l, dim, si) }
 	for d := range byDir {
 		if len(byDir[d]) == 0 {
 			continue
 		}
-		roots = append(roots, l.bisect(byDir[d], leafSize, 0, &budget))
+		roots = append(roots, bisect(coord, byDir[d], leafSize, 0, &budget))
+	}
+	return roots
+}
+
+// ClusterItems builds spatial cluster trees over n arbitrary directed
+// elements, one root per routing direction present — the element-level
+// twin of Index.ClusterTree for geometry that is not layout segments
+// (the mesh layer's filaments, lowered from segments and planes alike).
+// dir reports an element's routing direction; coord its bisection
+// coordinate per dimension (0 = centre along the routing axis, 1 =
+// cross coordinate, 2 = height), mirroring clusterCoord. The same
+// median bisection with the same index tie-break runs over the
+// elements, so the tree is a pure deterministic function of the inputs
+// at every worker count. leafSize < 1 means 16; workers <= 0 uses
+// GOMAXPROCS.
+func ClusterItems(n int, dir func(i int) Direction, coord func(dim, i int) float64, leafSize, workers int) []*ClusterNode {
+	if leafSize < 1 {
+		leafSize = 16
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var byDir [2][]int
+	for i := 0; i < n; i++ {
+		d := 0
+		if dir(i) == DirY {
+			d = 1
+		}
+		byDir[d] = append(byDir[d], i)
+	}
+	budget := int64(workers - 1)
+	var roots []*ClusterNode
+	for d := range byDir {
+		if len(byDir[d]) == 0 {
+			continue
+		}
+		roots = append(roots, bisect(coord, byDir[d], leafSize, 0, &budget))
 	}
 	return roots
 }
@@ -114,19 +155,19 @@ func clusterCoord(l *Layout, dim int, si int) float64 {
 	}
 }
 
-// bisect recursively splits segs (all one direction) at the median of
-// the widest coordinate spread, handing the left half to a spare worker
-// goroutine when the budget allows.
-func (l *Layout) bisect(segs []int, leafSize, level int, budget *int64) *ClusterNode {
+// bisect recursively splits elements (all one direction) at the median
+// of the widest coordinate spread, handing the left half to a spare
+// worker goroutine when the budget allows.
+func bisect(coord func(dim, i int) float64, segs []int, leafSize, level int, budget *int64) *ClusterNode {
 	node := &ClusterNode{Segs: segs, Level: level}
 	if len(segs) <= leafSize {
 		return node
 	}
 	best, bestSpread := 0, -1.0
 	for dim := 0; dim < 3; dim++ {
-		lo, hi := clusterCoord(l, dim, segs[0]), clusterCoord(l, dim, segs[0])
+		lo, hi := coord(dim, segs[0]), coord(dim, segs[0])
 		for _, si := range segs[1:] {
-			c := clusterCoord(l, dim, si)
+			c := coord(dim, si)
 			if c < lo {
 				lo = c
 			}
@@ -140,7 +181,7 @@ func (l *Layout) bisect(segs []int, leafSize, level int, budget *int64) *Cluster
 	}
 	sorted := append([]int(nil), segs...)
 	sort.Slice(sorted, func(i, j int) bool {
-		ci, cj := clusterCoord(l, best, sorted[i]), clusterCoord(l, best, sorted[j])
+		ci, cj := coord(best, sorted[i]), coord(best, sorted[j])
 		if ci != cj {
 			return ci < cj
 		}
@@ -153,15 +194,15 @@ func (l *Layout) bisect(segs []int, leafSize, level int, budget *int64) *Cluster
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			node.Left = l.bisect(sorted[:mid], leafSize, level+1, budget)
+			node.Left = bisect(coord, sorted[:mid], leafSize, level+1, budget)
 			atomic.AddInt64(budget, 1)
 		}()
-		node.Right = l.bisect(sorted[mid:], leafSize, level+1, budget)
+		node.Right = bisect(coord, sorted[mid:], leafSize, level+1, budget)
 		wg.Wait()
 	} else {
 		atomic.AddInt64(budget, 1)
-		node.Left = l.bisect(sorted[:mid], leafSize, level+1, budget)
-		node.Right = l.bisect(sorted[mid:], leafSize, level+1, budget)
+		node.Left = bisect(coord, sorted[:mid], leafSize, level+1, budget)
+		node.Right = bisect(coord, sorted[mid:], leafSize, level+1, budget)
 	}
 	return node
 }

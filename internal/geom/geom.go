@@ -1,8 +1,9 @@
 // Package geom models on-chip interconnect geometry: metal layers,
-// axis-aligned rectangular conductor segments, vias, and the layouts the
-// PEEC extractor (internal/extract), the field solver
-// (internal/fasthenry) and the topology generators (internal/grid)
-// operate on.
+// axis-aligned rectangular conductor segments, conductor planes with
+// perforation holes, vias, and the layouts the PEEC extractor
+// (internal/extract), the filament lowering (internal/mesh), the field
+// solver (internal/fasthenry) and the topology generators
+// (internal/grid) operate on.
 //
 // Conventions: x and y are routing-plane coordinates, z is the vertical
 // stack axis; all lengths are metres. Segments carry the names of their
@@ -62,7 +63,7 @@ type Segment struct {
 	NodeB  string
 }
 
-// EndX, EndY return the far-end centre-line coordinates.
+// End returns the far-end centre-line coordinates.
 func (s *Segment) End() (x, y float64) {
 	if s.Dir == DirX {
 		return s.X0 + s.Length, s.Y0
@@ -114,10 +115,12 @@ type Via struct {
 	NodeHi     string // node on the upper layer
 }
 
-// Layout is a collection of layers, segments and vias.
+// Layout is a collection of layers, segments, conductor planes and
+// vias.
 type Layout struct {
 	Layers   []Layer
 	Segments []Segment
+	Planes   []Plane
 	Vias     []Via
 }
 
@@ -267,6 +270,9 @@ func (l *Layout) Validate() error {
 		if s.Length <= 0 || s.Width <= 0 {
 			return fmt.Errorf("geom: segment %d has non-positive dimensions", i)
 		}
+	}
+	if err := l.validatePlanes(); err != nil {
+		return err
 	}
 	for i := range l.Vias {
 		v := &l.Vias[i]

@@ -9,6 +9,9 @@
 //	              "sheet_rho":0.025,"h_below":1e-6}],
 //	  "segments": [{"layer":0,"dir":"X","x0":0,"y0":0,"length":1e-3,
 //	                "width":2e-6,"net":"clk","node_a":"a","node_b":"b"}],
+//	  "planes": [{"layer":0,"x0":0,"y0":-24e-6,"x1":1e-3,"y1":24e-6,
+//	              "net":"GND","node_left":"p0","node_right":"p1",
+//	              "holes":[{"x0":4e-4,"y0":-4e-6,"x1":6e-4,"y1":4e-6}]}],
 //	  "vias": [{"x":0,"y":0,"layer_lo":0,"layer_hi":1,"resistance":0.5,
 //	            "net":"VDD","node_lo":"p","node_hi":"q"}]
 //	}
@@ -26,6 +29,7 @@ import (
 type File struct {
 	Layers   []LayerJSON   `json:"layers"`
 	Segments []SegmentJSON `json:"segments"`
+	Planes   []PlaneJSON   `json:"planes,omitempty"`
 	Vias     []ViaJSON     `json:"vias,omitempty"`
 }
 
@@ -49,6 +53,31 @@ type SegmentJSON struct {
 	Net    string  `json:"net"`
 	NodeA  string  `json:"node_a"`
 	NodeB  string  `json:"node_b"`
+}
+
+// HoleJSON mirrors geom.Hole: a rectangular perforation in absolute
+// plane coordinates.
+type HoleJSON struct {
+	X0 float64 `json:"x0"`
+	Y0 float64 `json:"y0"`
+	X1 float64 `json:"x1"`
+	Y1 float64 `json:"y1"`
+}
+
+// PlaneJSON mirrors geom.Plane; the four node_* fields name the edge
+// rails (empty = that edge floats, at least one must be set).
+type PlaneJSON struct {
+	Layer      int        `json:"layer"`
+	X0         float64    `json:"x0"`
+	Y0         float64    `json:"y0"`
+	X1         float64    `json:"x1"`
+	Y1         float64    `json:"y1"`
+	Net        string     `json:"net,omitempty"`
+	NodeLeft   string     `json:"node_left,omitempty"`
+	NodeRight  string     `json:"node_right,omitempty"`
+	NodeBottom string     `json:"node_bottom,omitempty"`
+	NodeTop    string     `json:"node_top,omitempty"`
+	Holes      []HoleJSON `json:"holes,omitempty"`
 }
 
 // ViaJSON mirrors geom.Via.
@@ -112,6 +141,24 @@ func (f *File) ToLayout() (*geom.Layout, error) {
 			Net: s.Net, NodeA: s.NodeA, NodeB: s.NodeB,
 		})
 	}
+	for i, p := range f.Planes {
+		if p.Layer < 0 || p.Layer >= len(layers) {
+			return nil, fmt.Errorf("layoutio: plane %d layer %d out of range", i, p.Layer)
+		}
+		if p.X1 <= p.X0 || p.Y1 <= p.Y0 {
+			return nil, fmt.Errorf("layoutio: plane %d has empty extent", i)
+		}
+		gp := geom.Plane{
+			Layer: p.Layer, X0: p.X0, Y0: p.Y0, X1: p.X1, Y1: p.Y1,
+			Net:      p.Net,
+			NodeLeft: p.NodeLeft, NodeRight: p.NodeRight,
+			NodeBottom: p.NodeBottom, NodeTop: p.NodeTop,
+		}
+		for _, h := range p.Holes {
+			gp.Holes = append(gp.Holes, geom.Hole{X0: h.X0, Y0: h.Y0, X1: h.X1, Y1: h.Y1})
+		}
+		lay.AddPlane(gp)
+	}
 	for _, v := range f.Vias {
 		lay.AddVia(geom.Via{
 			X: v.X, Y: v.Y, LayerLo: v.LayerLo, LayerHi: v.LayerHi,
@@ -149,6 +196,19 @@ func FromLayout(lay *geom.Layout) *File {
 			Length: s.Length, Width: s.Width,
 			Net: s.Net, NodeA: s.NodeA, NodeB: s.NodeB,
 		})
+	}
+	for i := range lay.Planes {
+		p := &lay.Planes[i]
+		pj := PlaneJSON{
+			Layer: p.Layer, X0: p.X0, Y0: p.Y0, X1: p.X1, Y1: p.Y1,
+			Net:      p.Net,
+			NodeLeft: p.NodeLeft, NodeRight: p.NodeRight,
+			NodeBottom: p.NodeBottom, NodeTop: p.NodeTop,
+		}
+		for _, h := range p.Holes {
+			pj.Holes = append(pj.Holes, HoleJSON{X0: h.X0, Y0: h.Y0, X1: h.X1, Y1: h.Y1})
+		}
+		f.Planes = append(f.Planes, pj)
 	}
 	for i := range lay.Vias {
 		v := &lay.Vias[i]

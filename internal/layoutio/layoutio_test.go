@@ -67,6 +67,49 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPlaneRoundTrip drives a plane with holes and edge rails through
+// the wire schema and back: every field must survive, and the parsed
+// layout must pass geometry validation.
+func TestPlaneRoundTrip(t *testing.T) {
+	lay := geom.NewLayout(grid.StandardLayers())
+	lay.AddSegment(geom.Segment{
+		Layer: 1, Dir: geom.DirX, X0: 0, Y0: 0,
+		Length: 1e-3, Width: 2e-6, Net: "sig", NodeA: "s0", NodeB: "s1",
+	})
+	lay.AddPlane(geom.Plane{
+		Layer: 0, X0: 0, Y0: -20e-6, X1: 1e-3, Y1: 20e-6,
+		Net: "GND", NodeLeft: "p0", NodeRight: "p1", NodeTop: "pt",
+		Holes: []geom.Hole{
+			{X0: 2e-4, Y0: -5e-6, X1: 3e-4, Y1: 5e-6},
+			{X0: 6e-4, Y0: -8e-6, X1: 7e-4, Y1: 8e-6},
+		},
+	})
+	if err := lay.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, lay); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Planes) != 1 {
+		t.Fatalf("round trip lost the plane: %d planes", len(back.Planes))
+	}
+	got, want := &back.Planes[0], &lay.Planes[0]
+	if got.Layer != want.Layer || got.X0 != want.X0 || got.Y1 != want.Y1 ||
+		got.Net != want.Net || got.NodeLeft != want.NodeLeft ||
+		got.NodeRight != want.NodeRight || got.NodeBottom != want.NodeBottom ||
+		got.NodeTop != want.NodeTop {
+		t.Errorf("plane mismatch: %+v vs %+v", got, want)
+	}
+	if len(got.Holes) != 2 || got.Holes[0] != want.Holes[0] || got.Holes[1] != want.Holes[1] {
+		t.Errorf("holes mismatch: %+v vs %+v", got.Holes, want.Holes)
+	}
+}
+
 func TestReadErrors(t *testing.T) {
 	cases := []string{
 		``,
@@ -82,6 +125,17 @@ func TestReadErrors(t *testing.T) {
 		  "segments":[{"layer":0,"dir":"X","x0":0,"y0":0,"length":0,"width":1,
 		               "net":"n","node_a":"a","node_b":"b"}]}`,
 		`{"unknown_field": 1}`,
+		// Plane rejections: layer out of range, empty extent, all four
+		// rails floating, hole outside the plane extent.
+		`{"layers":[{"name":"M","z":0,"thickness":1e-6,"sheet_rho":0.1,"h_below":1e-6}],
+		  "planes":[{"layer":3,"x0":0,"y0":0,"x1":1e-3,"y1":1e-3,"node_left":"p0"}]}`,
+		`{"layers":[{"name":"M","z":0,"thickness":1e-6,"sheet_rho":0.1,"h_below":1e-6}],
+		  "planes":[{"layer":0,"x0":0,"y0":0,"x1":0,"y1":1e-3,"node_left":"p0"}]}`,
+		`{"layers":[{"name":"M","z":0,"thickness":1e-6,"sheet_rho":0.1,"h_below":1e-6}],
+		  "planes":[{"layer":0,"x0":0,"y0":0,"x1":1e-3,"y1":1e-3}]}`,
+		`{"layers":[{"name":"M","z":0,"thickness":1e-6,"sheet_rho":0.1,"h_below":1e-6}],
+		  "planes":[{"layer":0,"x0":0,"y0":0,"x1":1e-3,"y1":1e-3,"node_left":"p0",
+		             "holes":[{"x0":-1e-4,"y0":0,"x1":1e-4,"y1":1e-4}]}]}`,
 	}
 	for i, c := range cases {
 		if _, err := Read(strings.NewReader(c)); err == nil {

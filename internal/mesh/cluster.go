@@ -1,0 +1,34 @@
+package mesh
+
+import "inductance101/internal/geom"
+
+// ClusterFilaments builds spatial cluster trees directly over a lowered
+// filament set, one root per routing direction present, through the
+// same median-bisection core (geom.ClusterItems) the segment-level
+// index uses. Before the mesh layer existed the compressed operators
+// clustered segments and expanded each into its filaments; plane grids
+// have no segment to cluster by, so the trees now index filaments
+// themselves — bisection coordinates are the filament's centre along
+// its routing axis, its cross coordinate, and its height, and the
+// result is deterministic at every worker count.
+func ClusterFilaments(fils []Filament, leafSize, workers int) []*geom.ClusterNode {
+	dir := func(i int) geom.Direction { return fils[i].Dir }
+	coord := func(dim, i int) float64 {
+		f := &fils[i]
+		switch dim {
+		case 0:
+			if f.Dir == geom.DirX {
+				return f.X0 + f.Length/2
+			}
+			return f.Y0 + f.Length/2
+		case 1:
+			if f.Dir == geom.DirX {
+				return f.Y0
+			}
+			return f.X0
+		default:
+			return f.Z
+		}
+	}
+	return geom.ClusterItems(len(fils), dir, coord, leafSize, workers)
+}

@@ -39,6 +39,11 @@ const (
 	maxCoord     = 1.0  // 1 m from the origin
 	minFreqHz    = 1.0
 	maxFreqHz    = 1e15
+	// maxPlanesPerJob bounds the conductor planes one job may mesh: each
+	// plane adds ~2·PlaneNW² filaments and PlaneNW² nodal solves, so the
+	// cap (together with the planenw range check) bounds the work a
+	// single request can pin a worker with.
+	maxPlanesPerJob = 8
 )
 
 // jobJSON is the wire schema of one extraction job. Geometry reuses the
@@ -72,6 +77,7 @@ type jobConfigJSON struct {
 	KernelCache string  `json:"kernelcache,omitempty"` // shared | private | off (default shared)
 	Sweep       string  `json:"sweep,omitempty"`       // exact | adaptive | auto (default auto)
 	SweepTol    float64 `json:"sweeptol,omitempty"`    // 0 = default (1e-6)
+	PlaneNW     int     `json:"planenw,omitempty"`     // plane mesh cells per axis; 0 = default
 }
 
 // job is a decoded, validated request ready to schedule.
@@ -133,6 +139,26 @@ func decodeJob(r io.Reader, lim Limits, tenantBudget int) (*job, error) {
 			return nil, fmt.Errorf("layer %d has a non-finite parameter", i)
 		}
 	}
+	if n := len(doc.Layout.Planes); n > maxPlanesPerJob {
+		return nil, fmt.Errorf("layout has %d planes, want at most %d", n, maxPlanesPerJob)
+	}
+	for i, p := range doc.Layout.Planes {
+		switch {
+		case !isFinite(p.X0) || !isFinite(p.Y0) || !isFinite(p.X1) || !isFinite(p.Y1):
+			return nil, fmt.Errorf("plane %d has a non-finite extent", i)
+		case p.X1-p.X0 < minDimension || p.Y1-p.Y0 < minDimension:
+			return nil, fmt.Errorf("plane %d extent below %g m", i, minDimension)
+		case p.X1-p.X0 > maxLength || p.Y1-p.Y0 > maxLength:
+			return nil, fmt.Errorf("plane %d extent above %g m", i, maxLength)
+		case math.Abs(p.X0) > maxCoord || math.Abs(p.Y0) > maxCoord || math.Abs(p.X1) > maxCoord || math.Abs(p.Y1) > maxCoord:
+			return nil, fmt.Errorf("plane %d outside +-%g m", i, maxCoord)
+		}
+		for hi, h := range p.Holes {
+			if !isFinite(h.X0) || !isFinite(h.Y0) || !isFinite(h.X1) || !isFinite(h.Y1) {
+				return nil, fmt.Errorf("plane %d hole %d has a non-finite extent", i, hi)
+			}
+		}
+	}
 	lay, err := doc.Layout.ToLayout()
 	if err != nil {
 		return nil, err
@@ -149,6 +175,15 @@ func decodeJob(r io.Reader, lim Limits, tenantBudget int) (*job, error) {
 	for _, s := range doc.Layout.Segments {
 		nodes[s.NodeA] = true
 		nodes[s.NodeB] = true
+	}
+	// Plane edge rails are first-class electrical nodes: ports and
+	// shorts may land on them.
+	for _, p := range doc.Layout.Planes {
+		for _, n := range []string{p.NodeLeft, p.NodeRight, p.NodeBottom, p.NodeTop} {
+			if n != "" {
+				nodes[n] = true
+			}
+		}
 	}
 	if doc.Port.Plus == "" || doc.Port.Minus == "" {
 		return nil, fmt.Errorf("port needs both plus and minus node names")
@@ -218,6 +253,7 @@ func decodeJob(r io.Reader, lim Limits, tenantBudget int) (*job, error) {
 		return nil, fmt.Errorf("sweeptol %g must be a finite non-negative tolerance", doc.Config.SweepTol)
 	}
 	cfg.SweepTol = doc.Config.SweepTol
+	cfg.PlaneNW = doc.Config.PlaneNW
 	switch doc.Config.KernelCache {
 	case "", "shared":
 		j.kernelCache = "shared"

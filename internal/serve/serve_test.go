@@ -39,6 +39,32 @@ func testShorts() [][2]string {
 	return [][2]string{{"s1", "g1"}, {"g1", "h1"}, {"g0", "h0"}}
 }
 
+// planeLayout is a microstrip-over-plane structure in the wire schema:
+// the signal on the top layer, a conductor plane below it whose edge
+// rails carry the default port's g0/g1 names.
+func planeLayout(planeHalfW float64) *layoutio.File {
+	return &layoutio.File{
+		Layers: []layoutio.LayerJSON{
+			{Name: "M5", Z: 4e-6, Thickness: 0.9e-6, SheetRho: 0.025, HBelow: 1.0e-6},
+			{Name: "M6", Z: 6e-6, Thickness: 1.2e-6, SheetRho: 0.018, HBelow: 1.1e-6},
+		},
+		Segments: []layoutio.SegmentJSON{
+			{Layer: 1, Dir: "X", X0: 0, Y0: 0, Length: 100e-6, Width: 2e-6, Net: "sig", NodeA: "s0", NodeB: "s1"},
+		},
+		Planes: []layoutio.PlaneJSON{
+			{Layer: 0, X0: 0, Y0: -planeHalfW, X1: 100e-6, Y1: planeHalfW,
+				Net: "GND", NodeLeft: "g0", NodeRight: "g1"},
+		},
+	}
+}
+
+// withPlane swaps the default job geometry for the plane structure,
+// rewriting the shorts to its node names (the port stays s0/g0).
+func withPlane(j *jobJSON) {
+	j.Layout = planeLayout(8e-6)
+	j.Shorts = [][2]string{{"s1", "g1"}}
+}
+
 // testJob builds a job document; overrides mutate the default before
 // marshalling.
 func testJob(t *testing.T, overrides ...func(*jobJSON)) []byte {
@@ -163,6 +189,33 @@ func TestSweepEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPlaneSweepEndToEnd submits a microstrip-over-plane job: the
+// plane must lower through the shared mesh (visibly more filaments
+// than the lone signal segment could produce), the per-job planenw
+// override must be honoured, and the streamed points must be physical.
+func TestPlaneSweepEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, CacheBytes: 8 << 20})
+	code, got := postJob(t, ts.URL, testJob(t, withPlane, func(j *jobJSON) {
+		j.Config.PlaneNW = 6
+	}))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.points) != 3 || got.done == nil {
+		t.Fatalf("stream: %d points, done=%v", len(got.points), got.done)
+	}
+	// A 6x6-cell plane grid alone is ~72 filaments; the lone signal
+	// segment at most a handful.
+	if got.done.Filaments < 50 {
+		t.Errorf("done reports %d filaments; the plane was not meshed", got.done.Filaments)
+	}
+	for _, p := range got.points {
+		if !(p.ROhm > 0) || !(p.LH > 0) {
+			t.Errorf("non-physical point %+v", p)
+		}
+	}
+}
+
 // TestAdaptiveSweepStream runs the same job in exact and adaptive sweep
 // modes: the adaptive stream must return every requested row, mark a
 // majority of them interp, and agree with the exact rows within the
@@ -233,6 +286,27 @@ func TestRejectsStructured400(t *testing.T) {
 		{"unknown-port-node", testJob(t, func(j *jobJSON) { j.Port.Plus = "nope" }), "nope"},
 		{"bad-sweep-mode", testJob(t, func(j *jobJSON) { j.Config.Sweep = "spline" }), "spline"},
 		{"bad-sweeptol", testJob(t, func(j *jobJSON) { j.Config.SweepTol = -1e-6 }), "sweeptol"},
+		{"bad-planenw", testJob(t, withPlane, func(j *jobJSON) {
+			j.Config.PlaneNW = 1
+		}), "plane density 1"},
+		{"huge-planenw", testJob(t, withPlane, func(j *jobJSON) {
+			j.Config.PlaneNW = 1 << 16
+		}), "plane density"},
+		{"too-many-planes", testJob(t, withPlane, func(j *jobJSON) {
+			for len(j.Layout.Planes) <= maxPlanesPerJob {
+				p := j.Layout.Planes[0]
+				p.NodeLeft = fmt.Sprintf("x%d", len(j.Layout.Planes))
+				p.NodeRight = fmt.Sprintf("y%d", len(j.Layout.Planes))
+				j.Layout.Planes = append(j.Layout.Planes, p)
+			}
+		}), "planes"},
+		{"plane-absurd-extent", testJob(t, withPlane, func(j *jobJSON) {
+			j.Layout.Planes[0].X1 = 5.0
+		}), "plane 0"},
+		{"plane-empty-hole", testJob(t, withPlane, func(j *jobJSON) {
+			j.Layout.Planes[0].Holes = []layoutio.HoleJSON{
+				{X0: 50e-6, Y0: 0, X1: 40e-6, Y1: 1e-6}}
+		}), "hole"},
 	}
 	for _, tc := range cases {
 		tc := tc

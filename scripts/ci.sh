@@ -32,9 +32,11 @@ fi
 # matrix runs concurrent multigrid V-cycles with conflicting worker
 # counts against one shared hierarchy; grid covers the streaming
 # assembly feeding worker-parallel MG solves; sweep stresses the
-# adaptive refine loop under parallel batch solvers.
-echo "== race detector (matrix, geom, extract, fasthenry, sim, engine, serve, grid, sweep)"
-go test -race ./internal/matrix ./internal/geom ./internal/extract ./internal/fasthenry ./internal/sim ./internal/engine ./internal/serve ./internal/grid ./internal/sweep
+# adaptive refine loop under parallel batch solvers; mesh pins the
+# lowering's determinism contract under parallel cluster-tree builds
+# over plane filament grids.
+echo "== race detector (matrix, geom, extract, fasthenry, sim, engine, serve, grid, sweep, mesh)"
+go test -race ./internal/matrix ./internal/geom ./internal/extract ./internal/fasthenry ./internal/sim ./internal/engine ./internal/serve ./internal/grid ./internal/sweep ./internal/mesh
 
 # No new mutable package-level tuning state: process-wide Set* switches
 # are frozen to the three deprecated shims. Run configuration belongs in
@@ -58,6 +60,18 @@ echo "== no cmd/ imports of internal/sweep (use engine.Config)"
 direct=$(grep -rn 'inductance101/internal/sweep' cmd --include='*.go' || true)
 if [ -n "$direct" ]; then
 	echo "cmd/ must configure sweeps through engine.Config, not internal/sweep:" >&2
+	echo "$direct" >&2
+	exit 1
+fi
+
+# Plane meshing flows through engine.Config (PlaneNW, validated
+# fail-fast via mesh.ValidatePlaneNW): no CLI lowers geometry by
+# importing internal/mesh directly — the lowering is the solvers'
+# internal representation, not a command-line surface.
+echo "== no cmd/ imports of internal/mesh (use engine.Config)"
+direct=$(grep -rn 'inductance101/internal/mesh' cmd --include='*.go' || true)
+if [ -n "$direct" ]; then
+	echo "cmd/ must configure plane meshing through engine.Config, not internal/mesh:" >&2
 	echo "$direct" >&2
 	exit 1
 fi
